@@ -1,0 +1,61 @@
+"""E1 — Functional vs OO decomposition (paper §1).
+
+Claim: use-case-driven functional decomposition yields coupling that
+"tends to be very high if not total", classes that "contain a single
+function", and "very deep inheritance hierarchies", while proper OO
+decomposition does not.
+
+The bench sweeps design size, measures both styles with the metrics
+suite, prints the series, and asserts the ordering the paper predicts.
+The timed kernel is the metric computation itself (it must scale to
+real models).
+"""
+
+import pytest
+
+from repro.validation import compute_model_metrics
+from workloads import make_functional_design, make_oo_design
+
+SIZES = [10, 20, 40, 80]
+
+
+def series():
+    rows = []
+    for size in SIZES:
+        oo = compute_model_metrics(make_oo_design(size).model)
+        functional = compute_model_metrics(
+            make_functional_design(size).model)
+        rows.append((size, oo, functional))
+    return rows
+
+
+def test_e1_report_and_shape():
+    rows = series()
+    print("\nE1: decomposition style vs design metrics")
+    print(f"{'N':>4} | {'coupling oo':>12} {'coupling fn':>12} | "
+          f"{'1-op oo':>8} {'1-op fn':>8} | {'maxDIT oo':>9} "
+          f"{'maxDIT fn':>9}")
+    for size, oo, functional in rows:
+        print(f"{size:>4} | {oo.coupling_density:>12.3f} "
+              f"{functional.coupling_density:>12.3f} | "
+              f"{oo.single_operation_ratio:>8.2f} "
+              f"{functional.single_operation_ratio:>8.2f} | "
+              f"{oo.max_dit:>9} {functional.max_dit:>9}")
+    for size, oo, functional in rows:
+        # the paper's predicted shape, at every size
+        assert functional.coupling_density > 0.9
+        assert oo.coupling_density < 0.5 * functional.coupling_density
+        assert functional.single_operation_ratio == 1.0
+        assert oo.single_operation_ratio < 0.5
+        assert functional.max_dit == size - 1
+        assert oo.max_dit <= 5
+
+
+@pytest.mark.parametrize("style,builder", [
+    ("oo", make_oo_design),
+    ("functional", make_functional_design),
+])
+def test_e1_metric_throughput(benchmark, style, builder):
+    model = builder(SIZES[-1]).model
+    metrics = benchmark(compute_model_metrics, model)
+    assert metrics.class_count == SIZES[-1]

@@ -1,0 +1,48 @@
+"""E3 — Transformation-engine scaling (paper §1, "model compilers").
+
+Claim: the MDA story only works if transformation engines behave like
+compilers — near-linear in model size.
+
+Measured: wall time and per-element cost of the generic PIM→PSM engine
+over a PIM size sweep, plus trace size (bookkeeping must not blow up).
+"""
+
+import time
+
+import pytest
+
+from repro.platforms import make_pim_to_psm, posix_platform
+from workloads import make_sized_pim
+
+SIZES = [50, 100, 200, 400, 800]
+
+
+def test_e3_report_and_shape():
+    platform = posix_platform()
+    transformation = make_pim_to_psm(platform)
+    print("\nE3: engine scaling (generic PIM->PSM, posix)")
+    print(f"{'classes':>8} {'elements':>9} {'trace':>7} {'ms':>9} "
+          f"{'us/elem':>9}")
+    per_element = []
+    for size in SIZES:
+        pim = make_sized_pim(size).model
+        started = time.perf_counter()
+        result = transformation.run(pim, platform=platform)
+        elapsed = time.perf_counter() - started
+        micros = elapsed * 1e6 / result.elements_visited
+        per_element.append(micros)
+        print(f"{size:>8} {result.elements_visited:>9} "
+              f"{len(result.trace):>7} {elapsed * 1e3:>9.2f} "
+              f"{micros:>9.1f}")
+    # compiler-like shape: per-element cost roughly flat — allow 4x drift
+    # across a 16x size range (rules scan is linear in rule count).
+    assert max(per_element) < 4 * min(per_element) + 50
+
+
+@pytest.mark.parametrize("size", [100, 400])
+def test_e3_engine_throughput(benchmark, size):
+    platform = posix_platform()
+    transformation = make_pim_to_psm(platform)
+    pim = make_sized_pim(size).model
+    result = benchmark(transformation.run, pim, platform=platform)
+    assert len(result.trace) > size

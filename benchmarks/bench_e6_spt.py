@@ -1,0 +1,65 @@
+"""E6 — Profiles carry real analysis: SPT schedulability (paper §2).
+
+Claim: profiles like "UML Profile for Schedulability, Performance and
+Time" are only worth applying if the annotations feed actual analysis.
+
+Measured: (a) across a utilisation sweep, the exact response-time
+analysis accepts everything the (sufficient) Liu-Layland bound accepts
+and more — the classic RM picture; (b) analysis cost for large task
+sets.
+"""
+
+import pytest
+
+from repro.profiles import analyze_tasks, liu_layland_bound
+from workloads import make_task_set
+
+UTILIZATIONS = [0.5, 0.69, 0.85, 0.95, 1.05]
+N_TASKS = 8
+SEEDS = range(10)
+
+
+def verdicts_at(utilization):
+    ll_accepts = 0
+    rta_accepts = 0
+    for seed in SEEDS:
+        tasks = make_task_set(N_TASKS, utilization, seed=seed)
+        report = analyze_tasks(tasks)
+        if report.passes_utilization_test:
+            ll_accepts += 1
+        if report.schedulable:
+            rta_accepts += 1
+        # soundness: the sufficient test never accepts what RTA rejects
+        assert not (report.passes_utilization_test
+                    and not report.schedulable)
+    return ll_accepts, rta_accepts
+
+
+def test_e6_report_and_shape():
+    bound = liu_layland_bound(N_TASKS)
+    print(f"\nE6: RM schedulability, n={N_TASKS} tasks, "
+          f"LL bound={bound:.3f} ({len(SEEDS)} task sets per point)")
+    print(f"{'U':>6} {'LL accepts':>11} {'RTA accepts':>12}")
+    series = []
+    for utilization in UTILIZATIONS:
+        ll_accepts, rta_accepts = verdicts_at(utilization)
+        series.append((utilization, ll_accepts, rta_accepts))
+        print(f"{utilization:>6.2f} {ll_accepts:>11} {rta_accepts:>12}")
+    # shape: below the bound everything passes both tests
+    assert series[0][1] == len(SEEDS) and series[0][2] == len(SEEDS)
+    # between bound and 1: LL goes inconclusive, RTA still accepts some
+    mid = series[2]
+    assert mid[1] < len(SEEDS)
+    assert mid[2] >= mid[1]
+    # above 1.0 nothing is schedulable
+    assert series[-1][2] == 0
+    # RTA dominates LL at every point
+    for _, ll_accepts, rta_accepts in series:
+        assert rta_accepts >= ll_accepts
+
+
+@pytest.mark.parametrize("n_tasks", [10, 50])
+def test_e6_analysis_cost(benchmark, n_tasks):
+    tasks = make_task_set(n_tasks, 0.7)
+    report = benchmark(analyze_tasks, tasks)
+    assert len(report.tasks) == n_tasks

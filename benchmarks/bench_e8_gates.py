@@ -1,0 +1,100 @@
+"""E8 — Gated level-wise testing stops defect propagation (paper §2).
+
+Claim: "At each abstraction level a well defined set of tests must be
+performed" — the alternative is the documentation-oriented anti-process
+where defective models flow into the PSM and the code.
+
+Measured: seed N defective PIMs (duplicate names, floating lifelines,
+broken state machines); run the same two-phase process gated and
+ungated; count defects that escape into the PSM.
+"""
+
+import random
+
+import pytest
+
+from repro.method import DevelopmentProcess, ModelTestSuite
+from repro.platforms import make_pim_to_psm, posix_platform
+from repro.uml import Interaction, ModelFactory, StateMachine
+from workloads import make_oo_design
+
+DEFECT_KINDS = ["duplicate-name", "floating-lifeline", "no-initial"]
+
+
+def make_defective_pim(kind, seed=0):
+    factory = make_oo_design(8, seed=seed)
+    if kind == "duplicate-name":
+        factory.clazz("C0")                       # C0 already exists
+    elif kind == "floating-lifeline":
+        interaction = Interaction(name="ix")
+        factory.model.add(interaction)
+        interaction.add_lifeline("ghost")         # no classifier
+    elif kind == "no-initial":
+        machine = StateMachine(name="BrokenSM")
+        factory.model.add(machine)
+        machine.main_region().add_state("Stuck")  # no initial pseudostate
+    return factory
+
+
+def make_process():
+    platform = posix_platform()
+    suite = (ModelTestSuite("pim-tests")
+             .add_structural().add_wellformedness())
+    process = DevelopmentProcess("dev")
+    process.add_phase("pim", suite=suite,
+                      transformation=make_pim_to_psm(platform),
+                      platform=platform)
+    return process
+
+
+def run_campaign(enforce_gates):
+    """Outcomes per defective PIM: 'blocked' at the gate, 'escaped' into
+    the PSM, or 'crashed' the downstream transformation — the latter two
+    both mean the defect left its abstraction level."""
+    from repro.transform import TransformError
+    process = make_process()
+    outcomes = {"blocked": 0, "escaped": 0, "crashed": 0}
+    for index, kind in enumerate(DEFECT_KINDS * 3):
+        pim = make_defective_pim(kind, seed=index)
+        try:
+            run = process.run(pim.model, enforce_gates=enforce_gates)
+        except TransformError:
+            outcomes["crashed"] += 1
+            continue
+        outcomes["escaped" if run.completed else "blocked"] += 1
+    return outcomes
+
+
+def test_e8_report_and_shape():
+    gated = run_campaign(enforce_gates=True)
+    ungated = run_campaign(enforce_gates=False)
+    total = sum(gated.values())
+    print("\nE8: defect escape into the PSM (9 seeded defective PIMs)")
+    print(f"{'process':<10} {'blocked':>8} {'escaped':>8} "
+          f"{'crashed':>8} {'leak rate':>10}")
+    for label, outcome in (("gated", gated), ("ungated", ungated)):
+        leaked = outcome["escaped"] + outcome["crashed"]
+        print(f"{label:<10} {outcome['blocked']:>8} "
+              f"{outcome['escaped']:>8} {outcome['crashed']:>8} "
+              f"{leaked / total:>10.2f}")
+    # the discipline works: every defect stopped at its level
+    assert gated["escaped"] == 0 and gated["crashed"] == 0
+    # the anti-process leaks (or detonates on) every defect
+    assert ungated["blocked"] == 0
+    assert ungated["escaped"] + ungated["crashed"] == total
+
+
+def test_e8_clean_model_passes_gate():
+    process = make_process()
+    run = process.run(make_oo_design(8).model)
+    assert run.completed
+
+
+def test_e8_gated_run_cost(benchmark):
+    process = make_process()
+    pim = make_oo_design(20).model
+
+    def run():
+        return process.run(pim)
+    outcome = benchmark(run)
+    assert outcome.completed

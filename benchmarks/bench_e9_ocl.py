@@ -1,0 +1,77 @@
+"""E9 — OCL-style model queries must be practical at scale (paper §2).
+
+Claim: "If a model can not be tested somehow then there is little point
+in producing that model" — constraint evaluation is the cheapest form of
+model testing and must stay usable as models grow.
+
+Measured: per-object invariant-checking cost across model sizes, plus
+single-expression evaluation cost for representative query shapes.
+"""
+
+import time
+
+import pytest
+
+from repro.ocl import ConstraintSet, evaluate
+from repro.uml import Clazz
+from workloads import make_sized_pim
+
+SIZES = [25, 50, 100, 200]
+
+
+def make_constraints():
+    constraints = ConstraintSet("pim-rules")
+    constraints.add(Clazz, "named", "name <> ''")
+    constraints.add(Clazz, "attrs-typed",
+                    "owned_attributes->forAll(p | p.type <> null)")
+    constraints.add(Clazz, "ops-bounded",
+                    "owned_operations->size() < 20")
+    return constraints
+
+
+def test_e9_report_and_shape():
+    constraints = make_constraints()
+    print("\nE9: invariant checking across model sizes "
+          f"({len(constraints)} invariants)")
+    print(f"{'classes':>8} {'elements':>9} {'ms':>9} {'us/elem':>9}")
+    per_element = []
+    for size in SIZES:
+        model = make_sized_pim(size).model
+        elements = 1 + sum(1 for _ in model.all_contents())
+        started = time.perf_counter()
+        report = constraints.check(model)
+        elapsed = time.perf_counter() - started
+        assert report.ok
+        micros = elapsed * 1e6 / elements
+        per_element.append(micros)
+        print(f"{size:>8} {elements:>9} {elapsed * 1e3:>9.2f} "
+              f"{micros:>9.1f}")
+    # near-linear: per-element cost must not grow with model size
+    assert max(per_element) < 5 * min(per_element) + 100
+
+
+def test_e9_violations_still_found_at_scale():
+    constraints = make_constraints()
+    factory = make_sized_pim(100)
+    factory.clazz("")      # seed one violation
+    report = constraints.check(factory.model)
+    assert len(report.errors) == 1
+
+
+@pytest.mark.parametrize("label,expr", [
+    ("navigation", "self.packaged_elements->size()"),
+    ("filter+collect",
+     "self.packaged_elements->select(e | e.oclIsKindOf(Clazz))"
+     "->collect(c | c.name)->size()"),
+    ("allInstances", "Clazz.allInstances()->size()"),
+    ("closure",
+     "self.packaged_elements->select(e | e.oclIsKindOf(Clazz))"
+     "->closure(c | c.supers())->size()"),
+])
+def test_e9_query_cost(benchmark, label, expr):
+    model = make_sized_pim(100).model
+
+    def run_query():
+        return evaluate(expr, self=model)
+    value = benchmark(run_query)
+    assert isinstance(value, int) and value >= 0

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration: make the sibling workloads module
+importable and print a header identifying the experiment mapping."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

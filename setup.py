@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Thin shim so that editable installs work without the 'wheel' package
+# (offline environment); all metadata lives in pyproject.toml.
+setup()

@@ -1,0 +1,36 @@
+"""repro — a model-driven engineering framework.
+
+Reproduction of *Applying UML and MDA to Real Systems Design* (Ian Oliver,
+DATE 2005).  The package provides, from the bottom up:
+
+* :mod:`repro.mof` — a MOF-style reflective metamodeling kernel (M3) with
+  dynamic metamodels, validation, queries, notification and model diff;
+* :mod:`repro.uml` — a UML metamodel subset defined on that kernel (M2):
+  classes/associations, state machines (incl. choice pseudostates and
+  internal transitions), activities, interactions, use cases, components
+  and deployment, plus well-formedness rules and DOT diagram export;
+* :mod:`repro.ocl` — an OCL-like constraint and query language with
+  tuples, invariants and a round-tripping unparser;
+* :mod:`repro.xmi` — XMI-style XML and JSON model interchange (stereotype
+  applications included);
+* :mod:`repro.transform` — the rule-based two-phase transformation engine
+  with traces, chains, refinement checking, state-machine flattening and
+  the classic UML->relational mapping;
+* :mod:`repro.platforms` — platform description models (POSIX RTOS,
+  bare-metal hardware, message-bus middleware), the generic
+  platform-parametric PIM->PSM engine, deployment allocation and
+  memory-footprint analysis;
+* :mod:`repro.codegen` — the model compiler: PSM -> code-model IR -> C /
+  Java-like / SystemC-like text (state machines and activities);
+* :mod:`repro.validation` — model testing: metrics, state-machine /
+  activity / timed simulation, scenario conformance, explicit-state
+  model checking, animation, interaction mining, model-based test
+  generation and the quality report;
+* :mod:`repro.profiles` — UML profiles with analyses: SPT schedulability,
+  QoS & fault tolerance, Testing, SysML-lite, ETSI communicating systems;
+* :mod:`repro.method` — methodology support: abstraction levels,
+  separation-of-concerns checking, gated development processes;
+* :mod:`repro.cli` — the ``python -m repro`` command-line toolchain.
+"""
+
+__version__ = "1.0.0"

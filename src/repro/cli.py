@@ -1,0 +1,376 @@
+"""Command-line interface: the toolchain over serialized models.
+
+::
+
+    python -m repro validate  model.xmi
+    python -m repro metrics   model.xmi
+    python -m repro check     model.xmi --platform posix
+    python -m repro transform model.xmi --platform posix -o psm.xmi
+    python -m repro generate  psm.xmi --lang c -o out/
+    python -m repro schedule  model.xmi
+    python -m repro diff      a.xmi b.xmi
+    python -m repro convert   model.xmi -o model.json
+
+Model files are the XMI-style XML (``.xmi``/``.xml``) or JSON (``.json``)
+dialects of :mod:`repro.xmi`; all bundled profiles are available for
+stereotype resolution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .codegen import generate_c, generate_java, generate_systemc, \
+    lower_model
+from .method import check_domain_purity
+from .platforms.footprint import estimate_footprint
+from .mof import Model, compare, validate_tree
+from .mof.repository import Model as MofModel
+from .platforms import (
+    baremetal_platform,
+    make_pim_to_psm,
+    middleware_platform,
+    posix_platform,
+)
+from .profiles import ETSI_CS, QOS_FT, SPT, SYSML, TESTING, analyze_model
+from .uml import UML, StateMachine, check_model, class_diagram, \
+    statemachine_diagram
+from .validation import (
+    compute_model_metrics,
+    generate_transition_tests,
+    quality_report,
+)
+from .xmi import read_json, read_xml, write_json, write_xml
+
+ALL_PROFILES = [SPT, QOS_FT, TESTING, SYSML, ETSI_CS]
+
+PLATFORMS = {
+    "posix": posix_platform,
+    "baremetal": baremetal_platform,
+    "middleware": middleware_platform,
+}
+
+GENERATORS = {
+    "c": generate_c,
+    "java": generate_java,
+    "systemc": generate_systemc,
+}
+
+
+def load_model(path: str) -> MofModel:
+    """Read a model file, dispatching on extension."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if path.endswith(".json"):
+        return read_json(text, [UML], profiles=ALL_PROFILES)
+    return read_xml(text, [UML], profiles=ALL_PROFILES)
+
+
+def save_model(model: MofModel, path: str) -> None:
+    text = write_json(model) if path.endswith(".json") else write_xml(model)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+# -- subcommands -------------------------------------------------------------
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    failures = 0
+    for root in model.roots:
+        structural = validate_tree(root)
+        wellformed = check_model(root) if hasattr(root, "packaged_elements") \
+            else None
+        for report, label in ((structural, "structural"),
+                              (wellformed, "well-formedness")):
+            if report is None:
+                continue
+            if report.ok:
+                print(f"{label}: ok"
+                      + (f" ({len(report.warnings)} warning(s))"
+                         if report.warnings else ""))
+                if args.verbose:
+                    for diagnostic in report.warnings:
+                        print(f"  warning: {diagnostic}")
+            else:
+                failures += len(report.errors)
+                print(f"{label}: {len(report.errors)} error(s)")
+                for diagnostic in report.errors:
+                    print(f"  {diagnostic}")
+    return 1 if failures else 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    for root in model.roots:
+        metrics = compute_model_metrics(root)
+        print(metrics.summary())
+        if args.per_class:
+            print(f"{'class':<24}{'CBO':>5}{'DIT':>5}{'NOC':>5}"
+                  f"{'WMC':>5}{'LCOM':>6}")
+            for record in metrics.classes.values():
+                print(f"{record.name:<24}{record.cbo:>5}{record.dit:>5}"
+                      f"{record.noc:>5}{record.wmc:>5}{record.lcom:>6}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    platforms = [PLATFORMS[name]() for name in (args.platform or [])]
+    dirty = 0
+    for root in model.roots:
+        report = check_domain_purity(root, platforms)
+        if report.clean:
+            print(f"{root!r}: clean "
+                  f"({report.elements_scanned} elements scanned)")
+        else:
+            dirty += len(report.findings)
+            print(f"{root!r}: {len(report.findings)} pollution finding(s)")
+            for finding in report.findings:
+                print(f"  {finding}")
+    return 1 if dirty else 0
+
+
+def cmd_transform(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    platform = PLATFORMS[args.platform]()
+    transformation = make_pim_to_psm(platform)
+    result = transformation.run(model.roots, platform=platform)
+    print(f"{transformation.name}: {len(result.trace)} trace links, "
+          f"{result.elements_visited} elements visited, "
+          f"{result.elapsed_seconds * 1e3:.1f} ms")
+    psm_model = result.target_model(uri=f"{model.uri}.psm")
+    save_model(psm_model, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    generator = GENERATORS[args.lang]
+    os.makedirs(args.output, exist_ok=True)
+    total = 0
+    for root in model.roots:
+        code = lower_model(root)
+        for filename, text in generator(code).items():
+            path = os.path.join(args.output, filename)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            lines = text.count("\n")
+            total += lines
+            print(f"wrote {path} ({lines} lines)")
+    print(f"total: {total} lines of {args.lang}")
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    worst_exit = 0
+    for root in model.roots:
+        report = analyze_model(root)
+        print(report.summary())
+        for analysis in report.tasks:
+            verdict = "ok" if analysis.schedulable else "MISS"
+            print(f"  {analysis.task.name:<20} "
+                  f"T={analysis.task.period_ms:g}ms "
+                  f"C={analysis.task.wcet_ms:g}ms "
+                  f"R={analysis.response_ms:g}ms {verdict}")
+        if not report.schedulable:
+            worst_exit = 1
+    return worst_exit
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    platforms = [PLATFORMS[name]() for name in (args.platform or [])]
+    all_passed = True
+    for root in model.roots:
+        report = quality_report(
+            root, platforms=platforms,
+            include_traceability=args.traceability)
+        print(report.render())
+        all_passed = all_passed and report.passed
+    return 0 if all_passed else 1
+
+
+def cmd_footprint(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    platform = PLATFORMS[args.platform]()
+    worst_exit = 0
+    for root in model.roots:
+        report = estimate_footprint(root, platform)
+        print(report.summary())
+        for footprint in report.classes.values():
+            print(f"  {footprint.name:<28} instance={footprint.instance_bytes:>6}B "
+                  f"stack={footprint.stack_bytes:>7}B "
+                  f"queue={footprint.queue_bytes:>7}B")
+        if not report.fits:
+            worst_exit = 1
+    return worst_exit
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    left = load_model(args.left)
+    right = load_model(args.right)
+    if len(left.roots) != len(right.roots):
+        print(f"root count differs: {len(left.roots)} vs "
+              f"{len(right.roots)}")
+        return 1
+    identical = True
+    for left_root, right_root in zip(left.roots, right.roots):
+        result = compare(left_root, right_root)
+        print(result.summary())
+        if not result.identical:
+            identical = False
+            print(result)
+    return 0 if identical else 1
+
+
+def cmd_testgen(args: argparse.Namespace) -> int:
+    from .uml import Clazz
+    model = load_model(args.model)
+    found = False
+    for root in model.roots:
+        for element in [root] + list(root.all_contents()):
+            if not isinstance(element, Clazz):
+                continue
+            if args.clazz and element.name != args.clazz:
+                continue
+            if element.state_machine() is None:
+                continue
+            found = True
+            result = generate_transition_tests(
+                element, max_depth=args.depth)
+            print(f"{element.name}: {result.summary()}")
+            for test in result.tests:
+                print(f"  {test}")
+    if not found:
+        print("no matching classes with state machines",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_diagram(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    for root in model.roots:
+        if args.kind == "class":
+            print(class_diagram(root))
+        else:
+            machines = [e for e in root.all_contents()
+                        if isinstance(e, StateMachine)]
+            if args.name:
+                machines = [m for m in machines if m.name == args.name]
+            if not machines:
+                print("no matching state machines", file=sys.stderr)
+                return 1
+            for machine in machines:
+                print(statemachine_diagram(machine))
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    model = load_model(args.model)
+    save_model(model, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+# -- parser ----------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UML/MDA toolchain (reproduction of Oliver, DATE'05)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="structural + well-formedness "
+                                        "checks")
+    p.add_argument("model")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("metrics", help="design metrics")
+    p.add_argument("model")
+    p.add_argument("--per-class", action="store_true")
+    p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser("check", help="domain/platform pollution check")
+    p.add_argument("model")
+    p.add_argument("--platform", action="append",
+                   choices=sorted(PLATFORMS))
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("transform", help="PIM -> PSM for a platform")
+    p.add_argument("model")
+    p.add_argument("--platform", required=True, choices=sorted(PLATFORMS))
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=cmd_transform)
+
+    p = sub.add_parser("generate", help="PSM -> source code")
+    p.add_argument("model")
+    p.add_argument("--lang", required=True, choices=sorted(GENERATORS))
+    p.add_argument("-o", "--output", required=True,
+                   help="output directory")
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("schedule", help="SPT schedulability analysis")
+    p.add_argument("model")
+    p.set_defaults(fn=cmd_schedule)
+
+    p = sub.add_parser("report", help="one-page quality report")
+    p.add_argument("model")
+    p.add_argument("--platform", action="append",
+                   choices=sorted(PLATFORMS))
+    p.add_argument("--traceability", action="store_true")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("footprint", help="memory footprint vs platform "
+                                         "budget")
+    p.add_argument("model")
+    p.add_argument("--platform", required=True, choices=sorted(PLATFORMS))
+    p.set_defaults(fn=cmd_footprint)
+
+    p = sub.add_parser("diff", help="compare two models")
+    p.add_argument("left")
+    p.add_argument("right")
+    p.set_defaults(fn=cmd_diff)
+
+    p = sub.add_parser("testgen", help="derive transition-coverage "
+                                       "tests from state machines")
+    p.add_argument("model")
+    p.add_argument("--class", dest="clazz", help="restrict to one class")
+    p.add_argument("--depth", type=int, default=12)
+    p.set_defaults(fn=cmd_testgen)
+
+    p = sub.add_parser("diagram", help="emit Graphviz DOT")
+    p.add_argument("model")
+    p.add_argument("--kind", choices=["class", "statemachine"],
+                   default="class")
+    p.add_argument("--name", help="state machine name filter")
+    p.set_defaults(fn=cmd_diagram)
+
+    p = sub.add_parser("convert", help="convert between XML and JSON")
+    p.add_argument("model")
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(fn=cmd_convert)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:            # surface tool errors tersely
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""``repro.codegen`` — the model compiler's back half.
+
+* :mod:`repro.codegen.ir` — the language-neutral code model (the last PSM);
+* :func:`lower_model` — PSM → IR (semantic);
+* :func:`generate_c` / :func:`generate_java` / :func:`generate_systemc` —
+  IR → text (syntactic);
+* :mod:`repro.codegen.actions` — the action mini-language parser shared
+  with the simulators.
+"""
+
+from .actions import parse_actions, parse_statement, to_c_expr, to_java_expr
+from .activity_lower import ActivityLoweringError, lower_activity
+from .c import CPrinter, generate_c
+from .ir import (
+    AssignStmt,
+    BreakStmt,
+    CallStmt,
+    CodeModel,
+    CommentStmt,
+    CompilationUnit,
+    EnumDecl,
+    Field_,
+    FunctionDecl,
+    IfStmt,
+    Param,
+    RawStmt,
+    ReturnStmt,
+    SendStmt,
+    Stmt,
+    StructDecl,
+    SwitchCase,
+    SwitchStmt,
+    VarDeclStmt,
+)
+from .javagen import JavaPrinter, generate_java
+from .lower import lower_class, lower_model, lower_state_machine
+from .printer import CodeWriter
+from .systemc import SystemCPrinter, generate_systemc
+
+__all__ = [
+    "ActivityLoweringError", "AssignStmt", "lower_activity", "BreakStmt", "CPrinter", "CallStmt", "CodeModel",
+    "CodeWriter", "CommentStmt", "CompilationUnit", "EnumDecl", "Field_",
+    "FunctionDecl", "IfStmt", "JavaPrinter", "Param", "RawStmt",
+    "ReturnStmt", "SendStmt", "Stmt", "StructDecl", "SwitchCase",
+    "SwitchStmt", "SystemCPrinter", "VarDeclStmt", "generate_c",
+    "generate_java", "generate_systemc", "lower_class", "lower_model",
+    "lower_state_machine", "parse_actions", "parse_statement", "to_c_expr",
+    "to_java_expr",
+]

@@ -1,0 +1,155 @@
+"""Parsing of the action mini-language into IR statements.
+
+The action language used in state-machine effects, entry/exit actions and
+operation bodies::
+
+    statement  := assign | send | call
+    assign     := LHS ':=' EXPR
+    send       := 'send' TARGET '.' EVENT '(' args ')'
+    call       := RECEIVER '.' OP '(' args ')'  |  OP '(' args ')'
+    program    := statement (';' statement)*
+
+Expressions stay textual (OCL-like); each code printer translates operator
+spellings for its language.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from .ir import AssignStmt, CallStmt, CommentStmt, SendStmt, Stmt
+
+_SEND_RE = re.compile(
+    r"^send\s+(?P<target>[A-Za-z_][\w.]*)\s*\.\s*(?P<event>[A-Za-z_]\w*)"
+    r"\s*\((?P<args>.*)\)$")
+_CALL_RE = re.compile(
+    r"^(?:(?P<receiver>[A-Za-z_][\w.]*)\s*\.\s*)?(?P<op>[A-Za-z_]\w*)"
+    r"\s*\((?P<args>.*)\)$")
+
+
+def _split_args(text: str) -> Tuple[str, ...]:
+    text = text.strip()
+    if not text:
+        return ()
+    depth = 0
+    parts: List[str] = []
+    current: List[str] = []
+    for ch in text:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current).strip())
+    return tuple(parts)
+
+
+def parse_statement(text: str) -> Stmt:
+    """Parse one action statement."""
+    text = text.strip()
+    if ":=" in text:
+        lhs, rhs = text.split(":=", 1)
+        return AssignStmt(lhs=lhs.strip(), rhs=rhs.strip())
+    send_match = _SEND_RE.match(text)
+    if send_match:
+        dotted = send_match.group("target")
+        # 'send a.b.ev()' — last dotted part before event is still target path
+        return SendStmt(target=dotted,
+                        event=send_match.group("event"),
+                        arguments=_split_args(send_match.group("args")))
+    call_match = _CALL_RE.match(text)
+    if call_match:
+        return CallStmt(receiver=call_match.group("receiver") or "",
+                        operation=call_match.group("op"),
+                        arguments=_split_args(call_match.group("args")))
+    # not parseable: keep as a comment so nothing is silently dropped
+    return CommentStmt(text=f"unparsed action: {text}")
+
+
+def parse_actions(program: str) -> List[Stmt]:
+    """Parse a ``;``-separated action program (empty → no statements)."""
+    if not program or not program.strip():
+        return []
+    return [parse_statement(part)
+            for part in program.split(";") if part.strip()]
+
+
+# -- field qualification ----------------------------------------------------
+
+def qualify_identifiers(text: str, names, prefix: str = "self.") -> str:
+    """Prefix bare occurrences of the given identifiers with *prefix*.
+
+    Used by the lowering, which knows a class's field names, so that
+    ``setpoint := setpoint + delta`` becomes ``self.setpoint := ...`` before
+    printing.  Identifiers already qualified (preceded by ``.``) are left
+    alone.
+    """
+    if not names:
+        return text
+    alternation = "|".join(re.escape(name) for name in
+                           sorted(names, key=len, reverse=True))
+    pattern = re.compile(rf"(?<![\w.])({alternation})\b(?!\s*\()")
+    return pattern.sub(lambda m: prefix + m.group(1), text)
+
+
+def qualify_stmt(stmt: Stmt, names, prefix: str = "self.") -> Stmt:
+    """Return a copy of *stmt* with bare field references qualified."""
+    if isinstance(stmt, AssignStmt):
+        return AssignStmt(lhs=qualify_identifiers(stmt.lhs, names, prefix),
+                          rhs=qualify_identifiers(stmt.rhs, names, prefix))
+    if isinstance(stmt, SendStmt):
+        return SendStmt(target=qualify_identifiers(stmt.target, names,
+                                                   prefix),
+                        event=stmt.event,
+                        arguments=tuple(qualify_identifiers(a, names, prefix)
+                                        for a in stmt.arguments))
+    if isinstance(stmt, CallStmt):
+        return CallStmt(receiver=qualify_identifiers(stmt.receiver, names,
+                                                     prefix)
+                        if stmt.receiver else "",
+                        operation=stmt.operation,
+                        arguments=tuple(qualify_identifiers(a, names, prefix)
+                                        for a in stmt.arguments))
+    return stmt
+
+
+# -- expression spelling translation --------------------------------------
+
+_C_SPELLINGS = [
+    (re.compile(r"\bnot\b"), "!"),
+    (re.compile(r"\band\b"), "&&"),
+    (re.compile(r"\bor\b"), "||"),
+    (re.compile(r"<>"), "!="),
+    (re.compile(r"\btrue\b"), "1"),
+    (re.compile(r"\bfalse\b"), "0"),
+]
+
+_JAVA_SPELLINGS = [
+    (re.compile(r"\bnot\b"), "!"),
+    (re.compile(r"\band\b"), "&&"),
+    (re.compile(r"\bor\b"), "||"),
+    (re.compile(r"<>"), "!="),
+]
+
+_EQ_RE = re.compile(r"(?<![<>:=!])=(?!=)")
+
+
+def to_c_expr(text: str) -> str:
+    """OCL-like boolean/arith expression → C spelling."""
+    out = text
+    for pattern, repl in _C_SPELLINGS:
+        out = pattern.sub(repl, out)
+    return _EQ_RE.sub("==", out)
+
+
+def to_java_expr(text: str) -> str:
+    """OCL-like expression → Java spelling (keeps true/false)."""
+    out = text
+    for pattern, repl in _JAVA_SPELLINGS:
+        out = pattern.sub(repl, out)
+    return _EQ_RE.sub("==", out)

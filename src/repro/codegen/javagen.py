@@ -1,0 +1,167 @@
+"""Java-like printer — a second purely syntactic rendering of the IR.
+
+Demonstrates the paper's point that once the semantic work is done (PSM,
+IR), re-targeting to another 3GL is a spelling change: this printer shares
+the IR with the C printer and adds nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .actions import to_java_expr
+from .ir import (
+    AssignStmt,
+    BreakStmt,
+    CallStmt,
+    CodeModel,
+    CommentStmt,
+    CompilationUnit,
+    EnumDecl,
+    FunctionDecl,
+    IfStmt,
+    RawStmt,
+    ReturnStmt,
+    SendStmt,
+    Stmt,
+    StructDecl,
+    SwitchStmt,
+    VarDeclStmt,
+)
+from .printer import CodeWriter
+
+_TYPE_SPELLING = {
+    "int32_t": "int", "uint32_t": "int", "int16_t": "short",
+    "uint8_t": "byte", "int64_t": "long", "Int64": "long",
+    "double": "double", "Float64": "double", "q15_t": "short",
+    "char*": "String", "char[16]": "String", "Utf8String": "String",
+    "bool": "boolean", "Bool": "boolean", "bit": "boolean",
+    "void": "void", "int": "int",
+}
+
+
+def _jtype(type_name: str) -> str:
+    return _TYPE_SPELLING.get(type_name.rstrip("*"),
+                              type_name.replace("*", ""))
+
+
+class JavaPrinter:
+    """Prints a :class:`CodeModel` as Java-like source, one class per
+    struct, methods folded into their owner class."""
+
+    def print_model(self, code: CodeModel) -> Dict[str, str]:
+        out: Dict[str, str] = {}
+        for unit in code.units:
+            for struct in unit.structs:
+                out[f"{struct.name}.java"] = self._class_text(unit, struct)
+            if unit.enums and not unit.structs:
+                writer = CodeWriter()
+                for enum in unit.enums:
+                    self._enum(writer, enum)
+                out[f"{unit.name}.java"] = writer.text()
+        return out
+
+    def _class_text(self, unit: CompilationUnit,
+                    struct: StructDecl) -> str:
+        writer = CodeWriter()
+        writer.line(f"// {struct.name}.java — generated; do not edit.")
+        if struct.doc:
+            writer.line(f"/** {struct.doc} */")
+        with writer.block(f"public class {struct.name} {{"):
+            for enum in unit.enums:
+                if enum.name.startswith(struct.name):
+                    self._enum(writer, enum)
+                    writer.blank()
+            for field in struct.fields:
+                writer.line(f"private {_jtype(field.type_name)} "
+                            f"{field.name};")
+            writer.blank()
+            for function in unit.functions:
+                if function.owner_struct != struct.name:
+                    continue
+                self._method(writer, struct, function)
+                writer.blank()
+        return writer.text()
+
+    def _enum(self, writer: CodeWriter, enum: EnumDecl) -> None:
+        if enum.doc:
+            writer.line(f"/** {enum.doc} */")
+        literals = ", ".join(enum.literals)
+        writer.line(f"public enum {_jtype(enum.name)} {{ {literals} }}")
+
+    def _method(self, writer: CodeWriter, struct: StructDecl,
+                function: FunctionDecl) -> None:
+        if function.doc:
+            writer.line(f"/** {function.doc} */")
+        method_name = function.name
+        prefix = f"{struct.name}_"
+        if method_name.startswith(prefix):
+            method_name = method_name[len(prefix):]
+        params = ", ".join(f"{_jtype(p.type_name)} {p.name}"
+                           for p in function.params
+                           if p.name != "self")
+        with writer.block(f"public {_jtype(function.return_type)} "
+                          f"{method_name}({params}) {{"):
+            for stmt in function.body:
+                self._stmt(writer, stmt)
+
+    def _stmt(self, writer: CodeWriter, stmt: Stmt) -> None:
+        if isinstance(stmt, CommentStmt):
+            writer.line(f"// {stmt.text}")
+        elif isinstance(stmt, RawStmt):
+            writer.line(stmt.text)
+        elif isinstance(stmt, VarDeclStmt):
+            init = f" = {to_java_expr(stmt.init)}" if stmt.init else ""
+            writer.line(f"{_jtype(stmt.type_name)} {stmt.name}{init};")
+        elif isinstance(stmt, AssignStmt):
+            writer.line(f"{self._path(stmt.lhs)} = "
+                        f"{to_java_expr(stmt.rhs)};")
+        elif isinstance(stmt, SendStmt):
+            args = ", ".join([f"Event.{stmt.event.upper()}"]
+                             + [to_java_expr(a) for a in stmt.arguments])
+            writer.line(f"{self._path(stmt.target)}.send({args});")
+        elif isinstance(stmt, CallStmt):
+            receiver = (f"{self._path(stmt.receiver)}."
+                        if stmt.receiver else "")
+            args = ", ".join(to_java_expr(a) for a in stmt.arguments)
+            writer.line(f"{receiver}{stmt.operation}({args});")
+        elif isinstance(stmt, ReturnStmt):
+            writer.line(f"return {to_java_expr(stmt.expr)};"
+                        if stmt.expr else "return;")
+        elif isinstance(stmt, BreakStmt):
+            writer.line("break;")
+        elif isinstance(stmt, IfStmt):
+            with writer.block(f"if ({to_java_expr(stmt.condition)}) {{"):
+                for inner in stmt.then_body:
+                    self._stmt(writer, inner)
+            if stmt.else_body:
+                with writer.block("else {"):
+                    for inner in stmt.else_body:
+                        self._stmt(writer, inner)
+        elif isinstance(stmt, SwitchStmt):
+            with writer.block(f"switch ({self._path(stmt.selector)}) {{"):
+                for case in stmt.cases:
+                    writer.line(f"case {case.label}: {{")
+                    writer.indent()
+                    for inner in case.body:
+                        self._stmt(writer, inner)
+                    writer.dedent()
+                    writer.line("}")
+                if stmt.default:
+                    writer.line("default: {")
+                    writer.indent()
+                    for inner in stmt.default:
+                        self._stmt(writer, inner)
+                    writer.dedent()
+                    writer.line("}")
+        else:
+            writer.line(f"// unsupported stmt {stmt!r}")
+
+    @staticmethod
+    def _path(path: str) -> str:
+        return path.replace("self.", "this.") if path else path
+
+
+def generate_java(code: CodeModel) -> Dict[str, str]:
+    """Convenience: print all classes to ``{filename: text}``."""
+    return JavaPrinter().print_model(code)

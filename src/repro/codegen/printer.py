@@ -1,0 +1,69 @@
+"""Indentation-aware text emitter shared by all code printers."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class CodeWriter:
+    """Accumulates lines with managed indentation."""
+
+    def __init__(self, indent_str: str = "    "):
+        self._lines: List[str] = []
+        self._depth = 0
+        self._indent_str = indent_str
+
+    def line(self, text: str = "") -> "CodeWriter":
+        if text:
+            self._lines.append(self._indent_str * self._depth + text)
+        else:
+            self._lines.append("")
+        return self
+
+    def lines(self, texts) -> "CodeWriter":
+        for text in texts:
+            self.line(text)
+        return self
+
+    def blank(self) -> "CodeWriter":
+        if self._lines and self._lines[-1] != "":
+            self._lines.append("")
+        return self
+
+    def indent(self) -> "CodeWriter":
+        self._depth += 1
+        return self
+
+    def dedent(self) -> "CodeWriter":
+        if self._depth == 0:
+            raise ValueError("dedent below zero")
+        self._depth -= 1
+        return self
+
+    class _Block:
+        def __init__(self, writer: "CodeWriter", open_text: str,
+                     close_text: str):
+            self.writer = writer
+            self.open_text = open_text
+            self.close_text = close_text
+
+        def __enter__(self):
+            self.writer.line(self.open_text)
+            self.writer.indent()
+            return self.writer
+
+        def __exit__(self, *exc):
+            self.writer.dedent()
+            if self.close_text:
+                self.writer.line(self.close_text)
+            return False
+
+    def block(self, open_text: str, close_text: str = "}") -> "_Block":
+        """``with writer.block("if (x) {"):`` — auto indent/close."""
+        return CodeWriter._Block(self, open_text, close_text)
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+    def __len__(self) -> int:
+        return len(self._lines)

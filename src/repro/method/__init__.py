@@ -1,0 +1,47 @@
+"""``repro.method`` — methodology support.
+
+* :mod:`abstraction` — abstraction levels, model stacks, platform-content
+  measurement;
+* :mod:`concerns` — domain/platform pollution detection;
+* :mod:`testing` — per-level model test suites;
+* :mod:`process` — the gated development process.
+"""
+
+from .abstraction import (
+    AbstractionLevel,
+    LevelSlot,
+    ModelStack,
+    abstraction_delta,
+    platform_content_ratio,
+    platform_vocabulary,
+)
+from .concerns import (
+    GENERIC_PLATFORM_SUFFIXES,
+    GENERIC_PLATFORM_TYPES,
+    PollutionFinding,
+    PollutionReport,
+    check_domain_purity,
+    check_psm_grounding,
+)
+from .process import (
+    DevelopmentProcess,
+    Phase,
+    PhaseRecord,
+    ProcessRun,
+)
+from .testing import (
+    ModelTest,
+    ModelTestResult,
+    ModelTestSuite,
+    SuiteResult,
+)
+
+__all__ = [
+    "AbstractionLevel", "DevelopmentProcess", "GENERIC_PLATFORM_SUFFIXES",
+    "GENERIC_PLATFORM_TYPES", "LevelSlot", "ModelStack", "ModelTest",
+    "ModelTestResult", "ModelTestSuite", "Phase", "PhaseRecord",
+    "PollutionFinding", "PollutionReport", "ProcessRun",
+    "SuiteResult", "abstraction_delta", "check_domain_purity",
+    "check_psm_grounding", "platform_content_ratio",
+    "platform_vocabulary",
+]

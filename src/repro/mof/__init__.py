@@ -1,0 +1,99 @@
+"""``repro.mof`` — the MOF-style metamodeling kernel (M3 layer).
+
+Public surface:
+
+* metamodel definition: :class:`MetaPackage`, :class:`MetaClass`,
+  :class:`MetaEnum`, :class:`Attribute`, :class:`Reference`,
+  :class:`Element`, :class:`DynamicElement`, the ``dynamic`` helpers and
+  :class:`PackageBuilder`;
+* types: ``MString``/``MInteger``/``MReal``/``MBoolean`` and
+  :class:`Multiplicity` (with ``M_01``, ``M_11``, ``M_0N``, ``M_1N``);
+* models: :class:`Model`, :class:`Repository`;
+* validation: :func:`validate_element`, :func:`validate_tree`,
+  :func:`validate_model`;
+* queries: see :mod:`repro.mof.query`;
+* change notification: :class:`Notification`, :class:`ChangeRecorder`.
+"""
+
+from .builder import ClassBuilder, PackageBuilder
+from .compare import DiffKind, DiffResult, Difference, compare
+from .dynamic import (
+    add_attribute,
+    add_reference,
+    define_class,
+    define_enum,
+    define_package,
+)
+from .errors import (
+    CompositionError,
+    FrozenElementError,
+    MetamodelError,
+    MofError,
+    MultiplicityError,
+    RepositoryError,
+    TypeConformanceError,
+    UnknownFeatureError,
+)
+from .kernel import (
+    Attribute,
+    DynamicElement,
+    Element,
+    Feature,
+    FeatureList,
+    MetaClass,
+    MetaEnum,
+    MetaPackage,
+    Reference,
+)
+from .notify import ChangeKind, ChangeRecorder, Notification
+from .query import (
+    all_contents,
+    closure,
+    cross_references,
+    find_by_name,
+    instances_of,
+    navigate,
+    path,
+    referenced_elements,
+    select,
+)
+from .repository import Model, Repository
+from .types import (
+    M_01,
+    M_0N,
+    M_11,
+    M_1N,
+    MBoolean,
+    MInteger,
+    MReal,
+    MString,
+    Multiplicity,
+    PrimitiveType,
+    UNBOUNDED,
+    primitive_by_name,
+)
+from .validate import (
+    Diagnostic,
+    Severity,
+    ValidationReport,
+    validate_element,
+    validate_model,
+    validate_tree,
+)
+
+__all__ = [
+    "Attribute", "DiffKind", "DiffResult", "Difference", "compare", "ChangeKind", "ChangeRecorder", "ClassBuilder",
+    "CompositionError", "Diagnostic", "DynamicElement", "Element",
+    "Feature", "FeatureList", "FrozenElementError", "M_01", "M_0N",
+    "M_11", "M_1N", "MBoolean", "MInteger", "MReal", "MString",
+    "MetaClass", "MetaEnum", "MetaPackage", "MetamodelError", "Model",
+    "MofError", "Multiplicity", "MultiplicityError", "Notification",
+    "PackageBuilder", "PrimitiveType", "Reference", "Repository",
+    "RepositoryError", "Severity", "TypeConformanceError", "UNBOUNDED",
+    "UnknownFeatureError", "ValidationReport", "add_attribute",
+    "add_reference", "all_contents", "closure", "cross_references",
+    "define_class", "define_enum", "define_package", "find_by_name",
+    "instances_of", "navigate", "path", "primitive_by_name",
+    "referenced_elements", "select", "validate_element", "validate_model",
+    "validate_tree",
+]

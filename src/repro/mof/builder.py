@@ -1,0 +1,122 @@
+"""Fluent builder for dynamic metamodels.
+
+Example
+-------
+>>> from repro.mof.builder import PackageBuilder
+>>> from repro.mof.types import MString, M_0N
+>>> net = (PackageBuilder("net")
+...        .clazz("Layer")
+...            .attr("name", MString)
+...            .ref("above", "Layer", opposite="below")
+...            .ref("below", "Layer")
+...        .done()
+...        .build())
+>>> layer = net.classifier("Layer")
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Union
+
+from . import dynamic
+from .errors import MetamodelError
+from .kernel import MetaClass, MetaEnum, MetaPackage
+from .types import M_01, Multiplicity, PrimitiveType
+
+
+class ClassBuilder:
+    """Builds one metaclass; returned by :meth:`PackageBuilder.clazz`."""
+
+    def __init__(self, parent: "PackageBuilder", metaclass: MetaClass):
+        self._parent = parent
+        self._metaclass = metaclass
+
+    def attr(self, name: str, type: Union[PrimitiveType, MetaEnum],
+             default: Any = None,
+             multiplicity: Multiplicity = M_01,
+             doc: str = "") -> "ClassBuilder":
+        dynamic.add_attribute(self._metaclass, name, type, default,
+                              multiplicity=multiplicity, doc=doc)
+        return self
+
+    def ref(self, name: str, target: Union[MetaClass, type, str],
+            containment: bool = False,
+            opposite: Optional[str] = None,
+            multiplicity: Multiplicity = M_01,
+            doc: str = "") -> "ClassBuilder":
+        dynamic.add_reference(self._metaclass, name, target,
+                              containment=containment, opposite=opposite,
+                              multiplicity=multiplicity, doc=doc)
+        return self
+
+    def contains(self, name: str, target: Union[MetaClass, type, str],
+                 multiplicity: Multiplicity = None,
+                 opposite: Optional[str] = None,
+                 doc: str = "") -> "ClassBuilder":
+        """Shorthand for a containment reference, defaulting to ``0..*``."""
+        from .types import M_0N
+        return self.ref(name, target, containment=True, opposite=opposite,
+                        multiplicity=multiplicity or M_0N, doc=doc)
+
+    def done(self) -> "PackageBuilder":
+        return self._parent
+
+    # allow starting the next class without an explicit done()
+    def clazz(self, name: str, **kwargs) -> "ClassBuilder":
+        return self._parent.clazz(name, **kwargs)
+
+    def enum(self, name: str, literals: Sequence[str]) -> "PackageBuilder":
+        return self._parent.enum(name, literals)
+
+    def build(self) -> MetaPackage:
+        return self._parent.build()
+
+    @property
+    def metaclass(self) -> MetaClass:
+        return self._metaclass
+
+
+class PackageBuilder:
+    """Accumulates classifiers into a fresh :class:`MetaPackage`."""
+
+    def __init__(self, name: str, uri: Optional[str] = None):
+        self._package = MetaPackage(name, uri=uri)
+        self._class_builders: List[ClassBuilder] = []
+
+    def clazz(self, name: str, *,
+              superclasses: Sequence[Union[MetaClass, type, str]] = (),
+              abstract: bool = False) -> ClassBuilder:
+        resolved: List[Union[MetaClass, type]] = []
+        for sup in superclasses:
+            if isinstance(sup, str):
+                classifier = self._package.classifiers.get(sup)
+                if not isinstance(classifier, MetaClass):
+                    raise MetamodelError(
+                        f"superclass {sup!r} not yet defined in package "
+                        f"'{self._package.name}'"
+                    )
+                resolved.append(classifier)
+            else:
+                resolved.append(sup)
+        metaclass = dynamic.define_class(
+            self._package, name, superclasses=resolved, abstract=abstract)
+        builder = ClassBuilder(self, metaclass)
+        self._class_builders.append(builder)
+        return builder
+
+    def enum(self, name: str, literals: Sequence[str]) -> "PackageBuilder":
+        dynamic.define_enum(self._package, name, literals)
+        return self
+
+    def build(self) -> MetaPackage:
+        """Resolve all forward references and return the finished package."""
+        for metaclass in self._package.metaclasses():
+            for feature in metaclass.own_features.values():
+                if feature.is_reference:
+                    feature.target        # force resolution
+                    feature.opposite      # force opposite pairing
+        return self._package
+
+    @property
+    def package(self) -> MetaPackage:
+        return self._package

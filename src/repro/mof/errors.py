@@ -1,0 +1,58 @@
+"""Exception hierarchy for the MOF metamodeling kernel.
+
+Every kernel-level failure derives from :class:`MofError` so that callers can
+catch metamodeling problems without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class MofError(Exception):
+    """Base class for all metamodeling kernel errors."""
+
+
+class MetamodelError(MofError):
+    """The metamodel itself is ill-formed (bad feature declaration,
+    unresolved opposite, duplicate names, inheritance cycle, ...)."""
+
+
+class TypeConformanceError(MofError):
+    """A value was assigned to a feature whose declared type it does not
+    conform to."""
+
+    def __init__(self, feature_name: str, expected: str, value: object):
+        self.feature_name = feature_name
+        self.expected = expected
+        self.value = value
+        super().__init__(
+            f"value {value!r} does not conform to type {expected} "
+            f"of feature '{feature_name}'"
+        )
+
+
+class MultiplicityError(MofError):
+    """A feature's multiplicity bounds were violated by a mutation."""
+
+
+class CompositionError(MofError):
+    """Containment structure violated: containment cycle, or an element
+    placed in two containers at once by a raw mutation."""
+
+
+class UnknownFeatureError(MofError):
+    """Reflective access used a feature name the metaclass does not declare."""
+
+    def __init__(self, metaclass_name: str, feature_name: str):
+        self.metaclass_name = metaclass_name
+        self.feature_name = feature_name
+        super().__init__(
+            f"metaclass '{metaclass_name}' has no feature '{feature_name}'"
+        )
+
+
+class FrozenElementError(MofError):
+    """Mutation attempted on an element that has been frozen read-only."""
+
+
+class RepositoryError(MofError):
+    """Model repository problems: duplicate URIs, unresolvable proxies."""

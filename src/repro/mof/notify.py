@@ -1,0 +1,94 @@
+"""Change notification for model elements.
+
+Transformations, trace recorders and animators need to observe model
+mutations.  Every successful high-level mutation of a feature emits a
+:class:`Notification` to observers registered on the touched element (and to
+repository-wide observers when the element belongs to a repository-attached
+model).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+
+class ChangeKind(enum.Enum):
+    """What a mutation did to a feature slot."""
+
+    SET = "set"          # single-valued feature assigned
+    UNSET = "unset"      # single-valued feature cleared
+    ADD = "add"          # value appended to a many-valued feature
+    REMOVE = "remove"    # value removed from a many-valued feature
+    MOVE = "move"        # value repositioned within an ordered feature
+
+
+@dataclass(frozen=True)
+class Notification:
+    """A single observed model change."""
+
+    element: Any                  # the element whose feature changed
+    feature: Any                  # the Feature object
+    kind: ChangeKind
+    old: Any = None
+    new: Any = None
+    position: Optional[int] = None
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind.value} {type(self.element).__name__}."
+            f"{self.feature.name}: {self.old!r} -> {self.new!r}"
+        )
+
+
+Observer = Callable[[Notification], None]
+
+
+class ObserverMixin:
+    """Gives an element an observer list and a ``_notify`` hook.
+
+    Observers are stored lazily: most elements are never observed and should
+    not pay for an empty list.
+    """
+
+    _observers: Optional[List[Observer]]
+
+    def observe(self, observer: Observer) -> None:
+        """Register *observer* to be called after each change to ``self``."""
+        observers = getattr(self, "_observers", None)
+        if observers is None:
+            observers = []
+            object.__setattr__(self, "_observers", observers)
+        observers.append(observer)
+
+    def unobserve(self, observer: Observer) -> None:
+        """Remove a previously registered observer (no-op if absent)."""
+        observers = getattr(self, "_observers", None)
+        if observers and observer in observers:
+            observers.remove(observer)
+
+    def _notify(self, notification: Notification) -> None:
+        observers = getattr(self, "_observers", None)
+        if observers:
+            for observer in list(observers):
+                observer(notification)
+        forward = getattr(self, "_notification_sink", None)
+        if forward is not None:
+            forward(notification)
+
+
+class ChangeRecorder:
+    """Collects notifications; convenient for tests and undo-style tooling."""
+
+    def __init__(self) -> None:
+        self.notifications: List[Notification] = []
+
+    def __call__(self, notification: Notification) -> None:
+        self.notifications.append(notification)
+
+    def clear(self) -> None:
+        self.notifications.clear()
+
+    def __len__(self) -> int:
+        return len(self.notifications)

@@ -1,0 +1,138 @@
+"""Models and the model repository.
+
+A :class:`Model` groups root elements under a URI; a :class:`Repository`
+holds many models and supports the global queries OCL needs
+(``allInstances``) plus cross-model element resolution by ``uri#id``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from .errors import RepositoryError
+from .kernel import Element, MetaClass
+from .notify import Notification
+
+
+class Model:
+    """A named collection of root elements forming one model document."""
+
+    def __init__(self, uri: str, name: Optional[str] = None):
+        self.uri = uri
+        self.name = name or uri.rsplit("/", 1)[-1]
+        self.roots: List[Element] = []
+        self.repository: Optional["Repository"] = None
+        self._observers: List[Callable[[Notification], None]] = []
+
+    def add_root(self, element: Element) -> Element:
+        """Attach a (container-less) element as a root of this model."""
+        if element.container is not None:
+            raise RepositoryError(
+                f"{element!r} is contained by {element.container!r}; only "
+                f"container-less elements can be model roots"
+            )
+        if element in self.roots:
+            return element
+        self.roots.append(element)
+        object.__setattr__(element, "_model", self)
+        return element
+
+    def remove_root(self, element: Element) -> None:
+        self.roots.remove(element)
+        object.__setattr__(element, "_model", None)
+
+    def all_elements(self) -> Iterator[Element]:
+        """Every element in the model: the roots and all their contents."""
+        for root in self.roots:
+            yield root
+            yield from root.all_contents()
+
+    def instances_of(self, metaclass: MetaClass,
+                     exact: bool = False) -> List[Element]:
+        """All elements conforming to *metaclass* (or exactly typed by it)."""
+        if exact:
+            return [e for e in self.all_elements() if e.meta is metaclass]
+        return [e for e in self.all_elements()
+                if e.meta.conforms_to(metaclass)]
+
+    def size(self) -> int:
+        return sum(1 for _ in self.all_elements())
+
+    def observe(self, observer: Callable[[Notification], None]) -> None:
+        """Observe every change to any element in this model."""
+        self._observers.append(observer)
+
+    def unobserve(self, observer: Callable[[Notification], None]) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def _element_changed(self, notification: Notification) -> None:
+        for observer in list(self._observers):
+            observer(notification)
+
+    def __repr__(self) -> str:
+        return f"<Model {self.uri} roots={len(self.roots)}>"
+
+
+class Repository:
+    """A set of models addressable by URI.
+
+    The repository supplies ``allInstances`` semantics for OCL and resolves
+    ``uri#eid`` references for the XMI reader.
+    """
+
+    def __init__(self) -> None:
+        self.models: Dict[str, Model] = {}
+
+    def create_model(self, uri: str, name: Optional[str] = None) -> Model:
+        if uri in self.models:
+            raise RepositoryError(f"repository already holds model {uri!r}")
+        model = Model(uri, name)
+        model.repository = self
+        self.models[uri] = model
+        return model
+
+    def add_model(self, model: Model) -> Model:
+        if model.uri in self.models and self.models[model.uri] is not model:
+            raise RepositoryError(f"repository already holds model {model.uri!r}")
+        model.repository = self
+        self.models[model.uri] = model
+        return model
+
+    def model(self, uri: str) -> Model:
+        try:
+            return self.models[uri]
+        except KeyError:
+            raise RepositoryError(f"no model with uri {uri!r}") from None
+
+    def remove_model(self, uri: str) -> None:
+        model = self.model(uri)
+        model.repository = None
+        del self.models[uri]
+
+    def all_elements(self) -> Iterator[Element]:
+        for model in self.models.values():
+            yield from model.all_elements()
+
+    def all_instances(self, metaclass: MetaClass,
+                      exact: bool = False) -> List[Element]:
+        out: List[Element] = []
+        for model in self.models.values():
+            out.extend(model.instances_of(metaclass, exact=exact))
+        return out
+
+    def resolve(self, reference: str) -> Element:
+        """Resolve a ``uri#eid`` string to an element."""
+        if "#" not in reference:
+            raise RepositoryError(
+                f"element reference {reference!r} must look like 'uri#eid'"
+            )
+        uri, eid = reference.split("#", 1)
+        model = self.model(uri)
+        for element in model.all_elements():
+            if element._eid == eid:
+                return element
+        raise RepositoryError(f"no element {eid!r} in model {uri!r}")
+
+    def __repr__(self) -> str:
+        return f"<Repository models={sorted(self.models)}>"

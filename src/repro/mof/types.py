@@ -1,0 +1,132 @@
+"""Primitive data types and multiplicities for the MOF kernel.
+
+The kernel's type system distinguishes three kinds of attribute types:
+
+* :class:`PrimitiveType` — string/integer/real/boolean, the MOF primitives;
+* :class:`MetaEnum` — user-defined enumerations (defined in ``kernel``);
+* metaclasses — used only by references, never by attributes.
+
+Multiplicities follow UML/MOF conventions: a lower bound (0 or more) and an
+upper bound that is either a positive integer or ``UNBOUNDED``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+UNBOUNDED: Optional[int] = None
+"""Sentinel for a ``*`` upper bound."""
+
+
+@dataclass(frozen=True)
+class Multiplicity:
+    """A ``lower..upper`` multiplicity as written on UML association ends.
+
+    ``upper is None`` means unbounded (``*``).
+    """
+
+    lower: int = 0
+    upper: Optional[int] = 1
+
+    def __post_init__(self) -> None:
+        if self.lower < 0:
+            raise ValueError(f"lower bound must be >= 0, got {self.lower}")
+        if self.upper is not None:
+            if self.upper < 1:
+                raise ValueError(f"upper bound must be >= 1, got {self.upper}")
+            if self.upper < self.lower:
+                raise ValueError(
+                    f"upper bound {self.upper} < lower bound {self.lower}"
+                )
+
+    @property
+    def is_many(self) -> bool:
+        """True when more than one value may be held (upper > 1 or ``*``)."""
+        return self.upper is None or self.upper > 1
+
+    @property
+    def is_required(self) -> bool:
+        """True when at least one value must be present."""
+        return self.lower >= 1
+
+    def accepts_count(self, n: int) -> bool:
+        """Whether a value count *n* satisfies these bounds."""
+        if n < self.lower:
+            return False
+        return self.upper is None or n <= self.upper
+
+    def __str__(self) -> str:
+        upper = "*" if self.upper is None else str(self.upper)
+        if str(self.lower) == upper:
+            return upper
+        return f"{self.lower}..{upper}"
+
+
+# Common multiplicities, named after their UML notation.
+M_01 = Multiplicity(0, 1)
+M_11 = Multiplicity(1, 1)
+M_0N = Multiplicity(0, UNBOUNDED)
+M_1N = Multiplicity(1, UNBOUNDED)
+
+
+class PrimitiveType:
+    """One of the MOF primitive data types.
+
+    Instances are singletons (``MString`` etc. below); user code never
+    constructs new primitive types.
+    """
+
+    def __init__(self, name: str, python_types: tuple, default: object):
+        self.name = name
+        self.python_types = python_types
+        self.default = default
+
+    def conforms(self, value: object) -> bool:
+        """Whether *value* is a legal runtime value of this type.
+
+        ``bool`` is deliberately excluded from Integer/Real conformance even
+        though it subclasses ``int`` in Python — a boolean slot must not be
+        silently usable as a number in models.
+        """
+        if value is None:
+            return True  # absence is handled by multiplicity, not type
+        if self is not MBoolean and isinstance(value, bool):
+            return False
+        return isinstance(value, self.python_types)
+
+    def coerce(self, value: object) -> object:
+        """Convert *value* from its serialized string form, if needed."""
+        if value is None or self.conforms(value):
+            return value
+        if isinstance(value, str):
+            if self is MInteger:
+                return int(value)
+            if self is MReal:
+                return float(value)
+            if self is MBoolean:
+                lowered = value.strip().lower()
+                if lowered in ("true", "1"):
+                    return True
+                if lowered in ("false", "0"):
+                    return False
+        raise ValueError(f"cannot coerce {value!r} to {self.name}")
+
+    def __repr__(self) -> str:
+        return f"<PrimitiveType {self.name}>"
+
+
+MString = PrimitiveType("String", (str,), "")
+MInteger = PrimitiveType("Integer", (int,), 0)
+MReal = PrimitiveType("Real", (int, float), 0.0)
+MBoolean = PrimitiveType("Boolean", (bool,), False)
+
+PRIMITIVES = {t.name: t for t in (MString, MInteger, MReal, MBoolean)}
+
+
+def primitive_by_name(name: str) -> PrimitiveType:
+    """Look up a primitive type by its MOF name (``String``, ``Integer``...)."""
+    try:
+        return PRIMITIVES[name]
+    except KeyError:
+        raise KeyError(f"unknown primitive type {name!r}") from None

@@ -1,0 +1,28 @@
+"""``repro.ocl`` — an OCL-like constraint and query language over models.
+
+* :func:`parse` — text → AST;
+* :func:`evaluate` — evaluate text/AST with variable bindings;
+* :class:`Environment` — bindings, type namespace, ``allInstances`` scope;
+* :class:`Invariant` / :func:`invariant` / :class:`ConstraintSet` —
+  metaclass-attached constraints picked up by the structural validator.
+"""
+
+from .ast import Node
+from .errors import (
+    OclError,
+    OclEvaluationError,
+    OclSyntaxError,
+    OclTypeError,
+)
+from .evaluator import Environment, OclEvaluator, evaluate
+from .invariants import ConstraintSet, Invariant, invariant
+from .lexer import Token, TokenKind, tokenize
+from .parser import parse
+from .unparse import unparse
+
+__all__ = [
+    "ConstraintSet", "Environment", "Invariant", "Node", "OclError",
+    "OclEvaluationError", "OclEvaluator", "OclSyntaxError", "OclTypeError",
+    "Token", "TokenKind", "evaluate", "invariant", "parse", "tokenize",
+    "unparse",
+]

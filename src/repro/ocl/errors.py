@@ -1,0 +1,27 @@
+"""Errors raised by the OCL subsystem."""
+
+from __future__ import annotations
+
+
+class OclError(Exception):
+    """Base class for OCL errors."""
+
+
+class OclSyntaxError(OclError):
+    """Lexing or parsing failed."""
+
+    def __init__(self, message: str, position: int, text: str = ""):
+        self.position = position
+        self.text = text
+        pointer = ""
+        if text:
+            pointer = f"\n  {text}\n  {' ' * position}^"
+        super().__init__(f"{message} at position {position}{pointer}")
+
+
+class OclEvaluationError(OclError):
+    """Evaluation failed (unknown name, type error at runtime, ...)."""
+
+
+class OclTypeError(OclEvaluationError):
+    """An operand had the wrong runtime kind."""

@@ -1,0 +1,137 @@
+"""OCL invariants attached to metaclasses.
+
+An :class:`Invariant` carries a context metaclass and a boolean expression;
+registering it places it on ``MetaClass.invariants``, where the structural
+validator (:mod:`repro.mof.validate`) picks it up — so ``validate_tree``
+checks both structure *and* semantics, which is exactly the "models must be
+testable" discipline the paper requires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Union
+
+from ..mof.kernel import Element, MetaClass, MetaPackage
+from ..mof.repository import Model
+from ..mof.validate import Severity, ValidationReport
+from .ast import Node
+from .errors import OclError
+from .evaluator import Environment, OclEvaluator, _EVALUATOR
+from .parser import parse
+
+
+class Invariant:
+    """A named boolean constraint over instances of a context metaclass."""
+
+    def __init__(self, context: Union[MetaClass, type], name: str,
+                 expression: str, *,
+                 message: str = "",
+                 severity: Severity = Severity.ERROR,
+                 packages: Optional[List[MetaPackage]] = None):
+        if isinstance(context, type):
+            context = context._meta
+        self.context: MetaClass = context
+        self.name = name
+        self.expression = expression
+        self.ast: Node = parse(expression)
+        self.message = message
+        self.severity = severity
+        self.packages = packages
+
+    def holds(self, element: Element) -> bool:
+        """Evaluate the invariant for *element* (must conform to context).
+
+        The type namespace is built from the context metaclass's package
+        (plus the element's own and its root's) rather than by scanning the
+        whole model, so checking n elements stays O(n).
+        """
+        env = Environment()
+        packages = list(self.packages or [])
+        for candidate in (self.context.package, element.meta.package,
+                          element.root().meta.package):
+            if candidate is not None and candidate not in packages:
+                packages.append(candidate)
+        for package in packages:
+            env.register_package(package)
+        env.set_instance_scope_from(element.root())
+        env.define("self", element)
+        result = _EVALUATOR.eval(self.ast, env)
+        return _EVALUATOR.truthy(result)
+
+    def register(self) -> "Invariant":
+        """Attach to the context metaclass so validators see it."""
+        if self not in self.context.invariants:
+            self.context.invariants.append(self)
+        return self
+
+    def unregister(self) -> None:
+        if self in self.context.invariants:
+            self.context.invariants.remove(self)
+
+    def __repr__(self) -> str:
+        return (f"<Invariant {self.context.name}::{self.name}: "
+                f"{self.expression!r}>")
+
+
+def invariant(context: Union[MetaClass, type], name: str,
+              expression: str, *, message: str = "",
+              severity: Severity = Severity.ERROR) -> Invariant:
+    """Create *and register* an invariant (the common case)."""
+    return Invariant(context, name, expression, message=message,
+                     severity=severity).register()
+
+
+class ConstraintSet:
+    """A named, detachable group of invariants — one per abstraction level
+    or concern, matching the paper's "at each abstraction level a well
+    defined set of tests must be performed"."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.invariants: List[Invariant] = []
+
+    def add(self, context: Union[MetaClass, type], name: str,
+            expression: str, *, message: str = "",
+            severity: Severity = Severity.ERROR) -> Invariant:
+        inv = Invariant(context, name, expression, message=message,
+                        severity=severity)
+        self.invariants.append(inv)
+        return inv
+
+    def check(self, scope: Union[Model, Element]) -> ValidationReport:
+        """Check every invariant against all conforming elements in scope
+        (without requiring registration on the metaclasses)."""
+        report = ValidationReport()
+        elements: Iterable[Element]
+        if isinstance(scope, Model):
+            elements = list(scope.all_elements())
+        else:
+            elements = [scope] + list(scope.all_contents())
+        for inv in self.invariants:
+            for element in elements:
+                if not element.meta.conforms_to(inv.context):
+                    continue
+                try:
+                    ok = inv.holds(element)
+                except OclError as exc:
+                    report.add(Severity.ERROR, element,
+                               f"invariant '{inv.name}' raised: {exc}",
+                               code="invariant-error")
+                    continue
+                if not ok:
+                    report.add(inv.severity, element,
+                               f"invariant '{inv.name}' violated"
+                               + (f": {inv.message}" if inv.message else ""),
+                               code="invariant")
+        return report
+
+    def register_all(self) -> None:
+        for inv in self.invariants:
+            inv.register()
+
+    def unregister_all(self) -> None:
+        for inv in self.invariants:
+            inv.unregister()
+
+    def __len__(self) -> int:
+        return len(self.invariants)

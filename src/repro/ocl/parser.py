@@ -1,0 +1,388 @@
+"""Recursive-descent parser for the OCL-like language.
+
+Grammar (precedence low to high)::
+
+    expr        := let | implies
+    let         := 'let' IDENT '=' expr 'in' expr
+    implies     := orexpr ('implies' orexpr)*
+    orexpr      := andexpr (('or'|'xor') andexpr)*
+    andexpr     := notexpr ('and' notexpr)*
+    notexpr     := 'not' notexpr | comparison
+    comparison  := additive (('='|'<>'|'<'|'<='|'>'|'>=') additive)?
+    additive    := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary (('*'|'/'|'div'|'mod') unary)*
+    unary       := '-' unary | postfix
+    postfix     := primary ( '.' IDENT [ '(' args ')' ]
+                           | '->' IDENT '(' [iterators '|'] args ')'
+                           | '::' IDENT )*
+    primary     := literal | 'self' | IDENT | 'if' ... | collection literal
+                 | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    ArrowCall,
+    TupleLiteral,
+    BinOp,
+    Call,
+    CollectionLiteral,
+    If,
+    Ident,
+    Let,
+    Literal,
+    Nav,
+    Node,
+    Range,
+    SelfExpr,
+    UnOp,
+)
+from .errors import OclSyntaxError
+from .lexer import Token, TokenKind, tokenize
+
+# Arrow operations that take iterator variables and a body expression.
+ITERATOR_OPS = {
+    "select", "reject", "collect", "forAll", "exists", "one", "any",
+    "isUnique", "sortedBy", "closure", "collectNested",
+}
+
+COLLECTION_KINDS = {"Set", "Sequence", "Bag", "OrderedSet"}
+
+
+class Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def at_op(self, *ops: str) -> bool:
+        return self.current.kind is TokenKind.OP and self.current.value in ops
+
+    def at_keyword(self, *words: str) -> bool:
+        return (self.current.kind is TokenKind.KEYWORD
+                and self.current.value in words)
+
+    def expect_op(self, op: str) -> Token:
+        if not self.at_op(op):
+            raise OclSyntaxError(f"expected {op!r}, found "
+                                 f"{self.current.value!r}",
+                                 self.current.position, self.text)
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.at_keyword(word):
+            raise OclSyntaxError(f"expected keyword {word!r}, found "
+                                 f"{self.current.value!r}",
+                                 self.current.position, self.text)
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind is not TokenKind.IDENT:
+            raise OclSyntaxError(f"expected identifier, found "
+                                 f"{self.current.value!r}",
+                                 self.current.position, self.text)
+        return self.advance()
+
+    # -- entry ---------------------------------------------------------------
+
+    def parse(self) -> Node:
+        node = self.expression()
+        if self.current.kind is not TokenKind.EOF:
+            raise OclSyntaxError(f"unexpected trailing input "
+                                 f"{self.current.value!r}",
+                                 self.current.position, self.text)
+        return node
+
+    # -- precedence levels ----------------------------------------------
+
+    def expression(self) -> Node:
+        if self.at_keyword("let"):
+            return self.let_expression()
+        return self.implies_expression()
+
+    def let_expression(self) -> Node:
+        start = self.expect_keyword("let").position
+        name = self.expect_ident().value
+        # optional type annotation: let x : Integer = ...
+        if self.at_op(":"):
+            self.advance()
+            self.expect_ident()
+        self.expect_op("=")
+        value = self.expression()
+        self.expect_keyword("in")
+        body = self.expression()
+        return Let(position=start, name=name, value=value, body=body)
+
+    def implies_expression(self) -> Node:
+        left = self.or_expression()
+        while self.at_keyword("implies"):
+            position = self.advance().position
+            right = self.or_expression()
+            left = BinOp(position=position, op="implies",
+                         left=left, right=right)
+        return left
+
+    def or_expression(self) -> Node:
+        left = self.and_expression()
+        while self.at_keyword("or", "xor"):
+            token = self.advance()
+            right = self.and_expression()
+            left = BinOp(position=token.position, op=token.value,
+                         left=left, right=right)
+        return left
+
+    def and_expression(self) -> Node:
+        left = self.not_expression()
+        while self.at_keyword("and"):
+            position = self.advance().position
+            right = self.not_expression()
+            left = BinOp(position=position, op="and", left=left, right=right)
+        return left
+
+    def not_expression(self) -> Node:
+        if self.at_keyword("not"):
+            position = self.advance().position
+            operand = self.not_expression()
+            return UnOp(position=position, op="not", operand=operand)
+        return self.comparison()
+
+    def comparison(self) -> Node:
+        left = self.additive()
+        if self.at_op("=", "<>", "<", "<=", ">", ">="):
+            token = self.advance()
+            right = self.additive()
+            return BinOp(position=token.position, op=token.value,
+                         left=left, right=right)
+        return left
+
+    def additive(self) -> Node:
+        left = self.multiplicative()
+        while self.at_op("+", "-"):
+            token = self.advance()
+            right = self.multiplicative()
+            left = BinOp(position=token.position, op=token.value,
+                         left=left, right=right)
+        return left
+
+    def multiplicative(self) -> Node:
+        left = self.unary()
+        while True:
+            if self.at_op("*", "/"):
+                token = self.advance()
+                op = token.value
+            elif (self.current.kind is TokenKind.IDENT
+                  and self.current.value in ("div", "mod")):
+                token = self.advance()
+                op = token.value
+            else:
+                return left
+            right = self.unary()
+            left = BinOp(position=token.position, op=op,
+                         left=left, right=right)
+
+    def unary(self) -> Node:
+        if self.at_op("-"):
+            position = self.advance().position
+            return UnOp(position=position, op="-", operand=self.unary())
+        return self.postfix()
+
+    # -- postfix chains ----------------------------------------------------
+
+    def postfix(self) -> Node:
+        node = self.primary()
+        while True:
+            if self.at_op("."):
+                self.advance()
+                name_token = self.current
+                if name_token.kind not in (TokenKind.IDENT, TokenKind.KEYWORD):
+                    raise OclSyntaxError("expected member name",
+                                         name_token.position, self.text)
+                self.advance()
+                if self.at_op("("):
+                    args = self.argument_list()
+                    node = Call(position=name_token.position, source=node,
+                                name=name_token.value, args=tuple(args))
+                else:
+                    node = Nav(position=name_token.position, source=node,
+                               name=name_token.value)
+            elif self.at_op("->"):
+                self.advance()
+                name_token = self.expect_ident()
+                node = self.arrow_call(node, name_token)
+            elif self.at_op("::"):
+                self.advance()
+                name_token = self.expect_ident()
+                if isinstance(node, Ident):
+                    node = Ident(position=node.position,
+                                 name=f"{node.name}::{name_token.value}")
+                else:
+                    raise OclSyntaxError("'::' applies to names only",
+                                         name_token.position, self.text)
+            else:
+                return node
+
+    def arrow_call(self, source: Node, name_token: Token) -> Node:
+        name = name_token.value
+        self.expect_op("(")
+        iterators: Tuple[str, ...] = ()
+        body: Optional[Node] = None
+        args: List[Node] = []
+        if self.at_op(")"):
+            self.advance()
+            return ArrowCall(position=name_token.position, source=source,
+                             name=name)
+        if name in ITERATOR_OPS:
+            iterators = self.try_iterator_declaration()
+            body = self.expression()
+            self.expect_op(")")
+            if not iterators:
+                iterators = ("__it",)
+            return ArrowCall(position=name_token.position, source=source,
+                             name=name, iterators=iterators, body=body)
+        args.append(self.expression())
+        while self.at_op(","):
+            self.advance()
+            args.append(self.expression())
+        self.expect_op(")")
+        return ArrowCall(position=name_token.position, source=source,
+                         name=name, args=tuple(args))
+
+    def try_iterator_declaration(self) -> Tuple[str, ...]:
+        """Detect ``x |`` / ``x, y |`` lookahead; consume it if present."""
+        saved = self.index
+        names: List[str] = []
+        while self.current.kind is TokenKind.IDENT:
+            names.append(self.advance().value)
+            if self.at_op(":"):          # optional type annotation
+                self.advance()
+                if self.current.kind in (TokenKind.IDENT, TokenKind.KEYWORD):
+                    self.advance()
+            if self.at_op(","):
+                self.advance()
+                continue
+            break
+        if names and self.at_op("|"):
+            self.advance()
+            return tuple(names)
+        self.index = saved
+        return ()
+
+    def argument_list(self) -> List[Node]:
+        self.expect_op("(")
+        args: List[Node] = []
+        if not self.at_op(")"):
+            args.append(self.expression())
+            while self.at_op(","):
+                self.advance()
+                args.append(self.expression())
+        self.expect_op(")")
+        return args
+
+    # -- primaries --------------------------------------------------------
+
+    def primary(self) -> Node:
+        token = self.current
+        if token.kind is TokenKind.INT:
+            self.advance()
+            return Literal(position=token.position, value=int(token.value))
+        if token.kind is TokenKind.REAL:
+            self.advance()
+            return Literal(position=token.position, value=float(token.value))
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return Literal(position=token.position, value=token.value)
+        if token.kind is TokenKind.KEYWORD:
+            if token.value == "true":
+                self.advance()
+                return Literal(position=token.position, value=True)
+            if token.value == "false":
+                self.advance()
+                return Literal(position=token.position, value=False)
+            if token.value == "null":
+                self.advance()
+                return Literal(position=token.position, value=None)
+            if token.value == "self":
+                self.advance()
+                return SelfExpr(position=token.position)
+            if token.value == "if":
+                return self.if_expression()
+            if token.value == "Tuple":
+                return self.tuple_literal()
+            if token.value in COLLECTION_KINDS:
+                return self.collection_literal()
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            return Ident(position=token.position, name=token.value)
+        if self.at_op("("):
+            self.advance()
+            node = self.expression()
+            self.expect_op(")")
+            return node
+        raise OclSyntaxError(f"unexpected token {token.value!r}",
+                             token.position, self.text)
+
+    def if_expression(self) -> Node:
+        start = self.expect_keyword("if").position
+        condition = self.expression()
+        self.expect_keyword("then")
+        then_branch = self.expression()
+        self.expect_keyword("else")
+        else_branch = self.expression()
+        self.expect_keyword("endif")
+        return If(position=start, condition=condition,
+                  then_branch=then_branch, else_branch=else_branch)
+
+    def tuple_literal(self) -> Node:
+        start = self.advance().position        # 'Tuple'
+        self.expect_op("{")
+        fields = []
+        while True:
+            name = self.expect_ident().value
+            self.expect_op("=")
+            fields.append((name, self.expression()))
+            if self.at_op(","):
+                self.advance()
+                continue
+            break
+        self.expect_op("}")
+        return TupleLiteral(position=start, fields=tuple(fields))
+
+    def collection_literal(self) -> Node:
+        kind_token = self.advance()
+        self.expect_op("{")
+        items: List[Node] = []
+        if not self.at_op("}"):
+            items.append(self.collection_item())
+            while self.at_op(","):
+                self.advance()
+                items.append(self.collection_item())
+        self.expect_op("}")
+        return CollectionLiteral(position=kind_token.position,
+                                 kind=kind_token.value, items=tuple(items))
+
+    def collection_item(self) -> Node:
+        first = self.expression()
+        if self.at_op(".."):
+            position = self.advance().position
+            last = self.expression()
+            return Range(position=position, first=first, last=last)
+        return first
+
+
+def parse(text: str) -> Node:
+    """Parse *text* into an AST."""
+    return Parser(text).parse()

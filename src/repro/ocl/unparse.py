@@ -1,0 +1,122 @@
+"""Unparser: OCL ASTs back to concrete syntax.
+
+Produces text that re-parses to an equal AST (the property tests assert
+``parse(unparse(node)) == node``), which makes expressions storable,
+diffable and transformable like any other model artifact.  Output is
+fully parenthesised where precedence could bite, minimal where it cannot.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    ArrowCall,
+    TupleLiteral,
+    BinOp,
+    Call,
+    CollectionLiteral,
+    If,
+    Ident,
+    Let,
+    Literal,
+    Nav,
+    Node,
+    Range,
+    SelfExpr,
+    UnOp,
+)
+
+# precedence levels, higher binds tighter (mirrors the parser)
+_PRECEDENCE = {
+    "implies": 1,
+    "or": 2, "xor": 2,
+    "and": 3,
+    "=": 5, "<>": 5, "<": 5, "<=": 5, ">": 5, ">=": 5,
+    "+": 6, "-": 6,
+    "*": 7, "/": 7, "div": 7, "mod": 7,
+}
+
+_KEYWORD_OPS = {"implies", "or", "xor", "and", "div", "mod"}
+
+
+def unparse(node: Node) -> str:
+    """AST → concrete OCL-like syntax."""
+    return _unparse(node, 0)
+
+
+def _unparse(node: Node, parent_precedence: int) -> str:
+    if isinstance(node, Literal):
+        return _literal(node.value)
+    if isinstance(node, SelfExpr):
+        return "self"
+    if isinstance(node, Ident):
+        return node.name
+    if isinstance(node, Nav):
+        return f"{_unparse(node.source, 99)}.{node.name}"
+    if isinstance(node, Call):
+        args = ", ".join(_unparse(a, 0) for a in node.args)
+        source = f"{_unparse(node.source, 99)}." if node.source else ""
+        return f"{source}{node.name}({args})"
+    if isinstance(node, ArrowCall):
+        source = _unparse(node.source, 99)
+        if node.body is not None:
+            iterators = ", ".join(node.iterators)
+            return (f"{source}->{node.name}({iterators} | "
+                    f"{_unparse(node.body, 0)})")
+        args = ", ".join(_unparse(a, 0) for a in node.args)
+        return f"{source}->{node.name}({args})"
+    if isinstance(node, UnOp):
+        operand = _unparse(node.operand, 8)
+        if node.op == "not":
+            return _wrap(f"not {operand}", 4, parent_precedence)
+        return _wrap(f"-{operand}", 8, parent_precedence)
+    if isinstance(node, BinOp):
+        precedence = _PRECEDENCE[node.op]
+        spelled = node.op
+        # comparisons are NON-associative in the grammar: both operands
+        # must bind tighter; other ops are rendered left-associative
+        comparison = spelled in ("=", "<>", "<", "<=", ">", ">=")
+        left = _unparse(node.left,
+                        precedence + 1 if comparison else precedence)
+        right = _unparse(node.right, precedence + 1)
+        return _wrap(f"{left} {spelled} {right}", precedence,
+                     parent_precedence)
+    if isinstance(node, If):
+        return (f"if {_unparse(node.condition, 0)} "
+                f"then {_unparse(node.then_branch, 0)} "
+                f"else {_unparse(node.else_branch, 0)} endif")
+    if isinstance(node, Let):
+        return (f"let {node.name} = {_unparse(node.value, 0)} "
+                f"in {_unparse(node.body, 1)}")
+    if isinstance(node, TupleLiteral):
+        fields = ", ".join(f"{name} = {_unparse(expr, 0)}"
+                           for name, expr in node.fields)
+        return f"Tuple{{{fields}}}"
+    if isinstance(node, CollectionLiteral):
+        items = ", ".join(
+            f"{_unparse(i.first, 0)}..{_unparse(i.last, 0)}"
+            if isinstance(i, Range) else _unparse(i, 0)
+            for i in node.items)
+        return f"{node.kind}{{{items}}}"
+    raise ValueError(f"cannot unparse {node!r}")
+
+
+def _literal(value) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        text = repr(value)
+        return text if "." in text else f"{text}.0"
+    return str(value)
+
+
+def _wrap(text: str, precedence: int, parent_precedence: int) -> str:
+    if precedence < parent_precedence:
+        return f"({text})"
+    return text

@@ -1,0 +1,53 @@
+"""``repro.platforms`` — platform description models and the generic
+PIM→PSM mapping engine.
+
+* metamodel: :class:`PlatformModel`, :class:`ExecutionEngine`,
+  :class:`CommunicationMechanism`, :class:`PlatformService`,
+  :class:`PlatformType`, :class:`TypeMapping`, :class:`ResourceBudget`;
+* the generic engine: :func:`make_pim_to_psm`, :data:`PIM_TO_PSM`;
+* three concrete platforms: :func:`posix_platform`,
+  :func:`baremetal_platform`, :func:`middleware_platform` (each with a
+  ``*_transformation()`` shortcut).
+"""
+
+from .base import (
+    CommKind,
+    CommunicationMechanism,
+    EngineKind,
+    ExecutionEngine,
+    PLATFORM,
+    PlatformElement,
+    PlatformModel,
+    PlatformService,
+    PlatformType,
+    ResourceBudget,
+    ServiceKind,
+    TypeMapping,
+)
+from .baremetal import baremetal_platform, baremetal_transformation
+from .deployment import allocate, deployment_fits
+from .footprint import (
+    ClassFootprint,
+    FootprintReport,
+    class_footprint,
+    estimate_footprint,
+)
+from .mapping import (
+    CHANNEL_ROLE,
+    ENGINE_ROLE,
+    PIM_TO_PSM,
+    make_pim_to_psm,
+)
+from .middleware import middleware_platform, middleware_transformation
+from .posix import posix_platform, posix_transformation
+
+__all__ = [
+    "CHANNEL_ROLE", "ClassFootprint", "CommKind", "FootprintReport",
+    "allocate", "deployment_fits",
+    "class_footprint", "estimate_footprint", "CommunicationMechanism", "ENGINE_ROLE",
+    "EngineKind", "ExecutionEngine", "PIM_TO_PSM", "PLATFORM",
+    "PlatformElement", "PlatformModel", "PlatformService", "PlatformType",
+    "ResourceBudget", "ServiceKind", "TypeMapping", "baremetal_platform",
+    "baremetal_transformation", "make_pim_to_psm", "middleware_platform",
+    "middleware_transformation", "posix_platform", "posix_transformation",
+]

@@ -1,0 +1,59 @@
+"""A bare-metal hardware platform description.
+
+Models the "hardware aspects" the paper says UML is particularly lacking
+for: no OS, hardware modules as execution engines, signals/wires for
+communication, narrow fixed-width types and a tight memory budget.
+"""
+
+from __future__ import annotations
+
+from ..transform.engine import Transformation
+from .base import PlatformModel, ResourceBudget
+from .mapping import make_pim_to_psm
+
+
+def baremetal_platform() -> PlatformModel:
+    """Build the bare-metal hardware platform model."""
+    platform = PlatformModel(
+        name="baremetal_hw",
+        description="bare-metal microcontroller / ASIC-like target",
+        vendor="repro", is_real_time=True)
+
+    int16 = platform.add_type("int16_t", bits=16)
+    platform.add_type("uint8_t", bits=8, is_signed=False)
+    fixed = platform.add_type("q15_t", bits=16)   # Q15 fixed-point for Real
+    flag = platform.add_type("bit", bits=1, is_signed=False)
+    text = platform.add_type("char[16]", bits=128, is_signed=False)
+
+    platform.map_type("Integer", int16)
+    platform.map_type("Real", fixed)
+    platform.map_type("Boolean", flag)
+    platform.map_type("String", text)
+
+    platform.add_engine("hw_fsm", "hw_module", context_switch_us=0.0,
+                        supports_priorities=False, priority_levels=1,
+                        stack_bytes=0)
+    platform.add_engine("main_loop_task", "task", context_switch_us=0.5,
+                        priority_levels=4, stack_bytes=512)
+    platform.add_engine("irq", "isr", context_switch_us=0.2,
+                        priority_levels=8, stack_bytes=256)
+
+    platform.add_comm("wire", "signal", latency_us=0.01, is_reliable=True,
+                      is_synchronous=True, max_message_bytes=4, depth=1)
+    platform.add_comm("ring_buffer", "queue", latency_us=0.5, depth=8,
+                      max_message_bytes=16)
+
+    platform.add_service("tick_timer", "timing", overhead_us=0.1)
+    platform.add_service("gpio", "io", overhead_us=0.05)
+
+    platform.budgets.append(ResourceBudget(name="memory_kb",
+                                           resource="memory_kb",
+                                           capacity=64))
+    platform.budgets.append(ResourceBudget(name="timers",
+                                           resource="timers", capacity=4))
+    return platform
+
+
+def baremetal_transformation() -> Transformation:
+    """The generic PIM→PSM engine instantiated for bare metal."""
+    return make_pim_to_psm(baremetal_platform())

@@ -1,0 +1,126 @@
+"""Deployment allocation: PSM → component & deployment model.
+
+The last mapping step of the MDA chain: active PSM classes become
+components with ports derived from their channels, components are
+manifested by artifacts, and artifacts are deployed onto an execution
+node description derived from the platform model.  The output is a plain
+UML package (components/artifacts/nodes), so it serializes, diffs and
+validates like everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..mof.query import instances_of
+from ..uml import (
+    Artifact,
+    Behavior,
+    Clazz,
+    Component,
+    Connector,
+    Deployment,
+    ExecutionNode,
+    Interface,
+    Operation,
+    Package,
+)
+from .base import PlatformModel
+from .footprint import estimate_footprint
+
+
+def _channel_classes(psm_root: Package) -> List[Clazz]:
+    """Channel classes produced by the mapping (``*_queue``/``*_topic``/
+    ``*_signal``...)."""
+    suffixes = ("_queue", "_topic", "_signal", "_bus", "_rpc",
+                "_shared_memory")
+    return [cls for cls in instances_of(psm_root, Clazz)
+            if not isinstance(cls, Behavior)
+            and cls.name.endswith(suffixes)]
+
+
+def allocate(psm_root: Package, platform: PlatformModel, *,
+             node_name: Optional[str] = None) -> Package:
+    """Build the deployment model for *psm_root* on *platform*."""
+    deployment_pkg = Package(
+        name=f"{psm_root.name}_deployment")
+
+    # the target node, described from the platform
+    memory_kb = 0
+    for budget in platform.budgets:
+        if budget.resource == "memory_kb":
+            memory_kb = budget.capacity
+    node = ExecutionNode(
+        name=node_name or f"{platform.name}_node",
+        memory_kb=memory_kb,
+        is_real_time=platform.is_real_time)
+    deployment_pkg.add(node)
+
+    channels = _channel_classes(psm_root)
+    channel_interfaces: Dict[int, Interface] = {}
+    for channel in channels:
+        interface = Interface(name=f"I{channel.name}")
+        for operation in channel.all_operations():
+            interface.owned_operations.append(
+                Operation(name=operation.name))
+        deployment_pkg.add(interface)
+        channel_interfaces[id(channel)] = interface
+
+    # one component per active class; ports from the channels whose name
+    # embeds the class's associations
+    components: Dict[str, Component] = {}
+    for cls in instances_of(psm_root, Clazz):
+        if isinstance(cls, Behavior) or not cls.is_active:
+            continue
+        component = Component(name=f"{cls.name}Component")
+        component.realizing_classes.append(cls)
+        deployment_pkg.add(component)
+        components[cls.name] = component
+
+    # wire ports: a channel '<assoc>_<kind>' realises the association
+    # '<assoc>' of the PSM; its two end types name the components
+    from ..uml import Association
+    associations = {a.name: a
+                    for a in instances_of(psm_root, Association)}
+    connectors: List[Connector] = []
+    for channel in channels:
+        interface = channel_interfaces[id(channel)]
+        association_name = channel.name.rsplit("_", 1)[0]
+        association = associations.get(association_name)
+        ends: List[Component] = []
+        if association is not None:
+            for end in association.member_ends:
+                if end.type is not None:
+                    component = components.get(end.type.name)
+                    if component is not None:
+                        ends.append(component)
+        if len(ends) < 2:
+            continue            # dangling channel: nothing to wire
+        provider, consumer = ends[0], ends[1]
+        out_port = provider.add_port(f"{channel.name}_out",
+                                     required=interface)
+        in_port = consumer.add_port(f"{channel.name}_in",
+                                    provided=interface)
+        connector = Connector.between(out_port, in_port,
+                                      name=channel.name)
+        deployment_pkg.add(connector)
+        connectors.append(connector)
+
+    # artifacts: one per component, deployed on the node
+    for component in components.values():
+        artifact = Artifact(name=f"{component.name}.bin",
+                            file_name=f"{component.name.lower()}.bin")
+        artifact.manifested_components.append(component)
+        deployment_pkg.add(artifact)
+        node.deploy(artifact)
+        deployment_pkg.add(Deployment(
+            name=f"deploy_{component.name}",
+            location=node, deployed_artifact=artifact))
+    return deployment_pkg
+
+
+def deployment_fits(psm_root: Package, platform: PlatformModel, *,
+                    instances: Optional[Dict[str, int]] = None) -> bool:
+    """Does the allocated system fit the node's memory budget?"""
+    return estimate_footprint(psm_root, platform,
+                              instances=instances).fits

@@ -1,0 +1,56 @@
+"""A publish/subscribe message-bus middleware platform description.
+
+Represents the distributed-middleware targets (CORBA-era in the paper's
+timeframe; topic buses today): processes as engines, topics as the
+communication mechanism, marshalled wide types, higher latencies, built-in
+fault-tolerance services.
+"""
+
+from __future__ import annotations
+
+from ..transform.engine import Transformation
+from .base import PlatformModel, ResourceBudget
+from .mapping import make_pim_to_psm
+
+
+def middleware_platform() -> PlatformModel:
+    """Build the message-bus middleware platform model."""
+    platform = PlatformModel(
+        name="msgbus_mw",
+        description="publish/subscribe middleware over a message bus",
+        vendor="repro", is_real_time=False)
+
+    int64 = platform.add_type("Int64", bits=64)
+    float64 = platform.add_type("Float64", bits=64, is_floating=True)
+    utf8 = platform.add_type("Utf8String", bits=0, is_signed=False)
+    boolean = platform.add_type("Bool", bits=8, is_signed=False)
+
+    platform.map_type("Integer", int64)
+    platform.map_type("Real", float64)
+    platform.map_type("String", utf8)
+    platform.map_type("Boolean", boolean)
+
+    platform.add_engine("service_process", "process",
+                        context_switch_us=100.0, priority_levels=10,
+                        stack_bytes=1 << 22)
+    platform.add_engine("worker_thread", "thread", context_switch_us=8.0,
+                        priority_levels=10, stack_bytes=1 << 18)
+
+    platform.add_comm("topic_bus", "topic", latency_us=500.0, depth=1024,
+                      max_message_bytes=1 << 16)
+    platform.add_comm("rpc_call", "rpc", latency_us=800.0,
+                      is_synchronous=True, max_message_bytes=1 << 16)
+
+    platform.add_service("broker", "communication", overhead_us=120.0)
+    platform.add_service("replication", "fault", overhead_us=300.0)
+    platform.add_service("persistence", "storage", overhead_us=1000.0)
+
+    platform.budgets.append(ResourceBudget(name="memory_kb",
+                                           resource="memory_kb",
+                                           capacity=8 * 1024 * 1024))
+    return platform
+
+
+def middleware_transformation() -> Transformation:
+    """The generic PIM→PSM engine instantiated for the middleware."""
+    return make_pim_to_psm(middleware_platform())

@@ -1,0 +1,62 @@
+"""A POSIX-like RTOS platform description.
+
+Stands in for the proprietary phone-platform targets of the paper's Nokia
+context: preemptive priority scheduling, pthreads-style engines, message
+queues, C-native types.
+"""
+
+from __future__ import annotations
+
+from ..transform.engine import Transformation
+from .base import PlatformModel
+from .mapping import make_pim_to_psm
+
+
+def posix_platform() -> PlatformModel:
+    """Build the POSIX RTOS platform model."""
+    platform = PlatformModel(
+        name="posix_rtos",
+        description="POSIX-like real-time operating system",
+        vendor="repro", is_real_time=True)
+
+    int32 = platform.add_type("int32_t", bits=32)
+    platform.add_type("uint32_t", bits=32, is_signed=False)
+    double = platform.add_type("double", bits=64, is_floating=True)
+    char_p = platform.add_type("char*", bits=64, is_signed=False)
+    bool_t = platform.add_type("bool", bits=8, is_signed=False)
+
+    platform.map_type("Integer", int32)
+    platform.map_type("Real", double)
+    platform.map_type("String", char_p)
+    platform.map_type("Boolean", bool_t)
+
+    platform.add_engine("pthread", "thread", context_switch_us=5.0,
+                        priority_levels=99, stack_bytes=65536)
+    platform.add_engine("process", "process", context_switch_us=50.0,
+                        priority_levels=40, stack_bytes=1 << 20)
+
+    platform.add_comm("mqueue", "queue", latency_us=15.0, depth=32,
+                      max_message_bytes=8192)
+    platform.add_comm("unix_signal", "signal", latency_us=8.0,
+                      is_reliable=False, max_message_bytes=0)
+    platform.add_comm("shm", "shared_memory", latency_us=1.0,
+                      max_message_bytes=1 << 20)
+
+    platform.add_service("sched_fifo", "scheduling", overhead_us=2.0)
+    platform.add_service("posix_timer", "timing", overhead_us=3.0)
+    platform.add_service("mmap_storage", "storage", overhead_us=20.0)
+
+    platform.budgets.append(_budget("memory_kb", 262144))
+    platform.budgets.append(_budget("threads", 1024))
+    return platform
+
+
+def _budget(resource: str, capacity: int):
+    from .base import ResourceBudget
+    return ResourceBudget(name=resource, resource=resource,
+                          capacity=capacity)
+
+
+def posix_transformation() -> Transformation:
+    """The generic PIM→PSM engine instantiated for the POSIX platform."""
+    return make_pim_to_psm(posix_platform())

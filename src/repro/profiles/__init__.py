@@ -1,0 +1,106 @@
+"""``repro.profiles`` — UML profiles with analyses behind them.
+
+* :mod:`base` — profile/stereotype/tagged-value machinery;
+* :mod:`spt` — Schedulability, Performance & Time (RM priorities,
+  utilisation bound, response-time analysis);
+* :mod:`qos` — QoS & Fault Tolerance (contracts, replication
+  availability, latency estimation);
+* :mod:`testing` — UML Testing Profile (test contexts, verdicts, arbiter);
+* :mod:`sysml` — SysML-lite (blocks, requirements, traceability matrix);
+* :mod:`etsi_cs` — Communicating Systems (protocol stack builders).
+"""
+
+from .base import (
+    Profile,
+    ProfileError,
+    Stereotype,
+    StereotypeApplication,
+    TagDefinition,
+    applications_of,
+    has_stereotype,
+    stereotypes_of,
+)
+from .etsi_cs import (
+    ETSI_CS,
+    PDU,
+    PROTOCOL_LAYER,
+    SAP,
+    build_pdu,
+    build_protocol_stack,
+    stack_layers,
+)
+from .qos import (
+    ContractCheck,
+    FT_REPLICATED,
+    QOS_FT,
+    QOS_OFFERED,
+    QOS_REQUIRED,
+    QoSContract,
+    availability_with_replication,
+    check_contracts,
+    effective_availability,
+    estimate_path_latency_ms,
+)
+from .spt import (
+    SA_RESOURCE,
+    SA_SCHEDULABLE,
+    SA_SCHEDULER,
+    SPT,
+    SchedulabilityReport,
+    Task,
+    TaskAnalysis,
+    analyze_model,
+    analyze_tasks,
+    liu_layland_bound,
+    rate_monotonic_priorities,
+    response_time_analysis,
+    tasks_from_model,
+    total_utilization,
+    utilization_test,
+)
+from .sysml import (
+    BLOCK,
+    DERIVE_REQT,
+    REQUIREMENT,
+    RequirementRow,
+    SATISFY,
+    SYSML,
+    TraceabilityMatrix,
+    VERIFY,
+    add_requirement,
+    derive,
+    satisfy,
+    traceability_matrix,
+    verify,
+)
+from .testing import (
+    SUT,
+    TEST_CASE,
+    TEST_CONTEXT,
+    TESTING,
+    TestCase,
+    TestCaseResult,
+    TestContext,
+    TestReport,
+    Verdict,
+    worst,
+)
+
+__all__ = [
+    "BLOCK", "ContractCheck", "DERIVE_REQT", "ETSI_CS", "FT_REPLICATED",
+    "PDU", "PROTOCOL_LAYER", "Profile", "ProfileError", "QOS_FT",
+    "QOS_OFFERED", "QOS_REQUIRED", "QoSContract", "REQUIREMENT",
+    "RequirementRow", "SAP", "SATISFY", "SA_RESOURCE", "SA_SCHEDULABLE",
+    "SA_SCHEDULER", "SPT", "SUT", "SYSML", "SchedulabilityReport",
+    "Stereotype", "StereotypeApplication", "TEST_CASE", "TEST_CONTEXT",
+    "TESTING", "TagDefinition", "Task", "TaskAnalysis", "TestCase",
+    "TestCaseResult", "TestContext", "TestReport", "TraceabilityMatrix",
+    "VERIFY", "Verdict", "add_requirement", "analyze_model",
+    "analyze_tasks", "applications_of", "availability_with_replication",
+    "build_pdu", "build_protocol_stack", "check_contracts", "derive",
+    "effective_availability", "estimate_path_latency_ms", "has_stereotype",
+    "liu_layland_bound", "rate_monotonic_priorities",
+    "response_time_analysis", "satisfy", "stack_layers", "stereotypes_of",
+    "tasks_from_model", "total_utilization", "traceability_matrix",
+    "utilization_test", "verify", "worst",
+]

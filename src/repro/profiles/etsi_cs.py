@@ -1,0 +1,114 @@
+"""UML for Communicating Systems (ETSI-style) — protocol stack modelling.
+
+Stereotypes for protocol layers, service access points (SAPs) and PDUs,
+plus a builder that assembles an N-layer protocol stack PIM: each layer is
+an active class with a state machine implementing a send/confirm
+handshake toward its lower layer and indication delivery toward its upper
+layer.  The stack is the workload for the protocol example and several
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..mof import MInteger, MString
+from ..uml import Clazz, ModelFactory, Package, StateMachine
+from .base import Profile
+
+ETSI_CS = Profile("CommunicatingSystems",
+                  "UML for Communicating Systems (ETSI-style)")
+
+PROTOCOL_LAYER = ETSI_CS.define("ProtocolLayer", Clazz) \
+    .tag("layer_index", MInteger, required=True) \
+    .tag("service_name", MString, "")
+SAP = ETSI_CS.define("SAP", Clazz) \
+    .tag("primitive_prefix", MString, "")
+PDU = ETSI_CS.define("PDU", Clazz) \
+    .tag("header_bytes", MInteger, 4)
+
+
+def _layer_state_machine(name: str, has_lower: bool) -> StateMachine:
+    """The per-layer behaviour.
+
+    Events: ``tx_request`` (from upper layer / user), ``tx_confirm`` (from
+    lower layer), ``rx_indication`` (from lower layer, travels up).
+    A layer with no lower neighbour confirms immediately (it *is* the
+    medium access).
+    """
+    machine = StateMachine(name=f"{name}SM")
+    region = machine.main_region()
+    initial = region.add_initial()
+    idle = region.add_state("Idle")
+    region.add_transition(initial, idle)
+    if has_lower:
+        sending = region.add_state("Sending")
+        region.add_transition(
+            idle, sending, trigger="tx_request",
+            effect="tx_count := tx_count + 1; send lower.tx_request()")
+        region.add_transition(
+            sending, idle, trigger="tx_confirm",
+            effect="send upper.tx_confirm()")
+        region.add_transition(
+            idle, idle, trigger="rx_indication",
+            effect="rx_count := rx_count + 1; send upper.rx_indication()")
+    else:
+        # bottom layer: the medium loops a request straight into delivery
+        region.add_transition(
+            idle, idle, trigger="tx_request",
+            effect="tx_count := tx_count + 1; "
+                   "send upper.tx_confirm(); send upper.rx_indication()")
+    return machine
+
+
+def build_protocol_stack(factory: ModelFactory,
+                         layer_names: List[str], *,
+                         package_name: str = "stack") -> List[Clazz]:
+    """Create an N-layer stack PIM inside *factory*'s model.
+
+    ``layer_names`` are ordered top (application-facing) to bottom
+    (medium).  Returns the layer classes, same order.
+    """
+    if not layer_names:
+        raise ValueError("a protocol stack needs at least one layer")
+    package = factory.package(package_name)
+    layers: List[Clazz] = []
+    for index, name in enumerate(layer_names):
+        layer = factory.clazz(
+            name, package=package,
+            attrs={"tx_count": "Integer", "rx_count": "Integer"},
+            is_active=True)
+        PROTOCOL_LAYER.apply(layer,
+                             layer_index=len(layer_names) - index,
+                             service_name=f"{name}_service")
+        is_bottom = index == len(layer_names) - 1
+        machine = _layer_state_machine(name, has_lower=not is_bottom)
+        layer.owned_behaviors.append(machine)
+        layer.classifier_behavior = machine
+        layers.append(layer)
+    for upper, lower in zip(layers, layers[1:]):
+        factory.associate(upper, lower, name=f"{upper.name}_{lower.name}",
+                          end_b="lower", end_a="upper",
+                          navigable_b_to_a=True,
+                          b_lower=1, b_upper=1, a_lower=1, a_upper=1)
+    return layers
+
+
+def build_pdu(factory: ModelFactory, name: str, *,
+              header_bytes: int = 4,
+              fields: Optional[List[Tuple[str, str]]] = None,
+              package: Optional[Package] = None) -> Clazz:
+    """Create a «PDU» value class with the given (name, type) fields."""
+    pdu = factory.clazz(name, package=package,
+                        attrs=dict(fields or [("payload", "String")]))
+    PDU.apply(pdu, header_bytes=header_bytes)
+    return pdu
+
+
+def stack_layers(root: Package) -> List[Clazz]:
+    """The «ProtocolLayer» classes under *root*, top first."""
+    from ..mof.query import instances_of
+    layers = [cls for cls in instances_of(root, Clazz)
+              if PROTOCOL_LAYER.is_applied_to(cls)]
+    return sorted(layers,
+                  key=lambda c: -PROTOCOL_LAYER.value_on(c, "layer_index"))

@@ -1,0 +1,151 @@
+"""The UML Testing Profile — test contexts, cases, verdicts, arbiter.
+
+Wires the profile's concepts onto the scenario machinery of
+:mod:`repro.validation.scenarios`: a «TestContext» owns «TestCase»s whose
+behaviour is a scenario run against a fresh system-under-test
+collaboration; the :class:`Arbiter` folds individual verdicts into one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..mof import MString
+from ..uml import Clazz
+from ..validation.collaboration import Collaboration
+from ..validation.scenarios import Scenario, ScenarioResult
+from ..validation.statemachine_sim import SimulationError
+from .base import Profile
+
+TESTING = Profile("Testing", "UML Testing Profile")
+
+TEST_CONTEXT = TESTING.define("TestContext", Clazz) \
+    .tag("purpose", MString, "")
+TEST_CASE = TESTING.define("TestCase", Clazz) \
+    .tag("description", MString, "")
+SUT = TESTING.define("SUT", Clazz)
+
+
+class Verdict(enum.Enum):
+    """UTP verdict lattice: pass < inconclusive < fail < error."""
+
+    PASS = "pass"
+    INCONCLUSIVE = "inconclusive"
+    FAIL = "fail"
+    ERROR = "error"
+
+
+_SEVERITY = {Verdict.PASS: 0, Verdict.INCONCLUSIVE: 1, Verdict.FAIL: 2,
+             Verdict.ERROR: 3}
+
+
+def worst(verdicts: List[Verdict]) -> Verdict:
+    """The arbiter's fold: the most severe verdict wins."""
+    if not verdicts:
+        return Verdict.INCONCLUSIVE
+    return max(verdicts, key=lambda v: _SEVERITY[v])
+
+
+@dataclass
+class TestCaseResult:
+    __test__ = False
+
+    name: str
+    verdict: Verdict
+    detail: str = ""
+    scenario_result: Optional[ScenarioResult] = None
+
+
+@dataclass
+class TestReport:
+    __test__ = False
+
+    context_name: str
+    results: List[TestCaseResult] = field(default_factory=list)
+
+    @property
+    def verdict(self) -> Verdict:
+        return worst([r.verdict for r in self.results])
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for result in self.results:
+            out[result.verdict.value] = out.get(result.verdict.value, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(self.counts()
+                                                         .items()))
+        return (f"test context '{self.context_name}': "
+                f"{self.verdict.value.upper()} ({counts})")
+
+
+class TestCase:
+    """One test: a scenario plus optional extra assertions on the final
+    collaboration state."""
+
+    __test__ = False          # not a pytest class despite the UTP name
+
+    def __init__(self, name: str, scenario: Scenario, *,
+                 post_condition: Optional[Callable[[Collaboration], bool]]
+                 = None,
+                 description: str = ""):
+        self.name = name
+        self.scenario = scenario
+        self.post_condition = post_condition
+        self.description = description
+
+    def run(self, collaboration: Collaboration) -> TestCaseResult:
+        try:
+            scenario_result = self.scenario.run(collaboration)
+        except SimulationError as exc:
+            return TestCaseResult(self.name, Verdict.ERROR, str(exc))
+        if not scenario_result.passed:
+            return TestCaseResult(self.name, Verdict.FAIL,
+                                  scenario_result.explain(),
+                                  scenario_result)
+        if self.post_condition is not None:
+            try:
+                if not self.post_condition(collaboration):
+                    return TestCaseResult(self.name, Verdict.FAIL,
+                                          "post-condition failed",
+                                          scenario_result)
+            except Exception as exc:          # assertion code crashed
+                return TestCaseResult(self.name, Verdict.ERROR, str(exc),
+                                      scenario_result)
+        return TestCaseResult(self.name, Verdict.PASS, "",
+                              scenario_result)
+
+
+class TestContext:
+    """A «TestContext»: owns test cases and a SUT factory."""
+
+    __test__ = False          # not a pytest class despite the UTP name
+
+    def __init__(self, name: str,
+                 sut_factory: Callable[[], Collaboration], *,
+                 purpose: str = ""):
+        self.name = name
+        self.sut_factory = sut_factory
+        self.purpose = purpose
+        self.test_cases: List[TestCase] = []
+
+    def add(self, test_case: TestCase) -> TestCase:
+        self.test_cases.append(test_case)
+        return test_case
+
+    def add_scenario(self, name: str, scenario: Scenario,
+                     post_condition: Optional[Callable[[Collaboration],
+                                                       bool]] = None
+                     ) -> TestCase:
+        return self.add(TestCase(name, scenario,
+                                 post_condition=post_condition))
+
+    def run_all(self) -> TestReport:
+        """Each test case gets a *fresh* SUT — no shared state."""
+        report = TestReport(self.name)
+        for test_case in self.test_cases:
+            report.results.append(test_case.run(self.sut_factory()))
+        return report

@@ -1,0 +1,59 @@
+"""``repro.transform`` — the rule-based model transformation engine.
+
+* :class:`Rule` / :func:`rule` — declarative two-phase rules;
+* :class:`Transformation` — the engine (the paper's "model compiler");
+* :class:`TraceModel` — first-class transformation traces;
+* :class:`TransformationChain` — gated PIM→PSM→... pipelines;
+* :func:`check_refinement` — trace-based refinement validation;
+* :class:`PlatformParametricTransformation` — one generic engine, many
+  platforms;
+* library: :func:`clone_transformation` (syntactic identity),
+  :func:`flatten_state_machine`, :func:`state_machine_to_table`.
+"""
+
+from .chain import (
+    ChainResult,
+    ChainStep,
+    GateVerdict,
+    StepRecord,
+    TransformationChain,
+)
+from .engine import (
+    Transformation,
+    TransformationContext,
+    TransformationResult,
+)
+from .errors import (
+    GateClosedError,
+    RuleError,
+    TransformError,
+    UnresolvedTraceError,
+)
+from .library import (
+    CloneRule,
+    TransitionRow,
+    clone_transformation,
+    flatten_state_machine,
+    state_machine_to_table,
+)
+from .platformparam import PlatformParametricTransformation
+from .refinement import check_refinement, refinement_completeness_ratio
+from .rule import FunctionRule, Rule, rule
+from .trace import DEFAULT_ROLE, TraceLink, TraceModel
+from .uml2rel import (
+    RELATIONAL,
+    schema_to_sql,
+    uml_to_relational,
+)
+
+__all__ = [
+    "ChainResult", "ChainStep", "CloneRule", "DEFAULT_ROLE", "FunctionRule",
+    "RELATIONAL", "schema_to_sql", "uml_to_relational",
+    "GateClosedError", "GateVerdict", "PlatformParametricTransformation",
+    "Rule", "RuleError", "StepRecord", "TraceLink", "TraceModel",
+    "TransformError", "Transformation", "TransformationChain",
+    "TransformationContext", "TransformationResult", "TransitionRow",
+    "UnresolvedTraceError", "check_refinement", "clone_transformation",
+    "flatten_state_machine", "refinement_completeness_ratio", "rule",
+    "state_machine_to_table",
+]

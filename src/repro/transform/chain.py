@@ -1,0 +1,120 @@
+"""Transformation chains: PIM → PSM → ... with optional gates.
+
+A chain runs transformations in sequence, keeping every intermediate model
+and trace.  Each step may carry a *gate* — a predicate over the step's
+source model that must pass before the step runs; ``repro.method.process``
+plugs level test suites in here, realising the paper's "at each abstraction
+level a well defined set of tests must be performed".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from ..mof.kernel import Element
+from ..mof.repository import Model
+from .engine import Transformation, TransformationResult
+from .errors import GateClosedError
+
+Gate = Callable[[List[Element]], "GateVerdict"]
+
+
+@dataclass
+class GateVerdict:
+    """Outcome of a gate check."""
+
+    passed: bool
+    messages: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+
+@dataclass
+class ChainStep:
+    transformation: Transformation
+    gate: Optional[Gate] = None
+    platform: Any = None
+    parameters: Optional[Dict[str, Any]] = None
+
+    @property
+    def name(self) -> str:
+        return self.transformation.name
+
+
+@dataclass
+class StepRecord:
+    """What happened at one step of a chain run."""
+
+    step_name: str
+    gate_verdict: Optional[GateVerdict]
+    result: Optional[TransformationResult]
+
+    @property
+    def ran(self) -> bool:
+        return self.result is not None
+
+
+@dataclass
+class ChainResult:
+    records: List[StepRecord] = field(default_factory=list)
+    final_roots: List[Element] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        return all(record.ran for record in self.records)
+
+    def step(self, name: str) -> StepRecord:
+        for record in self.records:
+            if record.step_name == name:
+                return record
+        raise KeyError(name)
+
+
+class TransformationChain:
+    """An ordered pipeline of gated transformations."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.steps: List[ChainStep] = []
+
+    def add_step(self, transformation: Transformation, *,
+                 gate: Optional[Gate] = None, platform: Any = None,
+                 parameters: Optional[Dict[str, Any]] = None) -> ChainStep:
+        step = ChainStep(transformation, gate, platform, parameters)
+        self.steps.append(step)
+        return step
+
+    def run(self, source: Union[Model, Element, List[Element]], *,
+            enforce_gates: bool = True) -> ChainResult:
+        """Run all steps; with ``enforce_gates`` a failing gate raises
+        :class:`GateClosedError`, otherwise it is recorded and the chain
+        continues (the "ungated" process the paper warns about)."""
+        roots = Transformation._roots_of(source)
+        chain_result = ChainResult()
+        for step in self.steps:
+            verdict: Optional[GateVerdict] = None
+            if step.gate is not None:
+                verdict = step.gate(roots)
+                if not verdict and enforce_gates:
+                    chain_result.records.append(
+                        StepRecord(step.name, verdict, None))
+                    raise GateClosedError(
+                        f"gate refused step '{step.name}': "
+                        + "; ".join(verdict.messages))
+            result = step.transformation.run(
+                roots, platform=step.platform, parameters=step.parameters)
+            chain_result.records.append(StepRecord(step.name, verdict, result))
+            roots = result.target_roots
+        chain_result.final_roots = roots
+        return chain_result
+
+    def total_abstraction_delta(self) -> int:
+        """How many abstraction levels the full chain descends."""
+        return sum(step.transformation.abstraction_delta
+                   for step in self.steps)
+
+    def __repr__(self) -> str:
+        names = " -> ".join(step.name for step in self.steps)
+        return f"<TransformationChain {self.name}: {names}>"

@@ -1,0 +1,223 @@
+"""The transformation engine — the paper's "model compiler".
+
+A :class:`Transformation` owns an ordered rule set and executes in two
+phases over the source containment tree:
+
+1. **create** — every non-lazy rule is offered every element (exclusive
+   rules stop the search for their element); targets are instantiated and
+   recorded in the :class:`~repro.transform.trace.TraceModel`;
+2. **bind** — every trace link's rule gets to wire references, resolving
+   other images through the trace.  Forward references are therefore
+   impossible to get wrong: by bind time all targets exist.
+
+A transformation is *platform-parametric* when run with a platform model:
+rules receive it via ``ctx.platform`` and consume its services/types —
+this is the paper's "generic engine that takes a model of a platform as
+its parameter".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from ..mof.kernel import Element
+from ..mof.repository import Model
+from .errors import TransformError, UnresolvedTraceError
+from .rule import Rule
+from .trace import DEFAULT_ROLE, TraceLink, TraceModel
+
+
+class TransformationContext:
+    """Everything rules may consult while executing."""
+
+    def __init__(self, transformation: "Transformation",
+                 source_roots: List[Element],
+                 platform: Any = None,
+                 parameters: Optional[Dict[str, Any]] = None):
+        self.transformation = transformation
+        self.source_roots = source_roots
+        self.platform = platform
+        self.parameters = dict(parameters or {})
+        self.trace = TraceModel()
+        self.helpers: Dict[str, Any] = {}
+
+    # -- trace-backed resolution ----------------------------------------
+
+    def resolve(self, source: Element, role: str = DEFAULT_ROLE,
+                *, required: bool = True) -> Optional[Element]:
+        """Image of *source*; raises when required and absent."""
+        target = self.trace.resolve(source, role)
+        if target is None and required:
+            raise UnresolvedTraceError(source, role)
+        return target
+
+    def resolve_optional(self, source: Optional[Element],
+                         role: str = DEFAULT_ROLE) -> Optional[Element]:
+        if source is None:
+            return None
+        return self.trace.resolve(source, role)
+
+    def resolve_all(self, sources: Iterable[Element],
+                    role: str = DEFAULT_ROLE) -> List[Element]:
+        return self.trace.resolve_all(sources, role)
+
+    def resolve_or_apply(self, source: Element, rule: Rule,
+                         role: str = DEFAULT_ROLE) -> Element:
+        """Lazy-rule support: transform *source* with *rule* on first
+        demand, reuse the trace afterwards."""
+        target = self.trace.resolve(source, role, rule=rule.name)
+        if target is not None:
+            return target
+        link = self.transformation._apply_rule(rule, source, self)
+        if link is None or role not in link.targets:
+            raise UnresolvedTraceError(source, role)
+        self.transformation._bind_link(link, self)
+        return link.targets[role]
+
+
+@dataclass
+class TransformationResult:
+    """Output of one run: target roots, the trace, and statistics."""
+
+    target_roots: List[Element] = field(default_factory=list)
+    trace: TraceModel = field(default_factory=TraceModel)
+    elements_visited: int = 0
+    elapsed_seconds: float = 0.0
+
+    def target_model(self, uri: str = "urn:target",
+                     name: str = "target") -> Model:
+        model = Model(uri, name)
+        for root in self.target_roots:
+            model.add_root(root)
+        return model
+
+    @property
+    def primary_root(self) -> Element:
+        if not self.target_roots:
+            raise TransformError("transformation produced no target roots")
+        return self.target_roots[0]
+
+
+class Transformation:
+    """An ordered set of rules executed by the two-phase engine.
+
+    ``kind`` documents whether the transformation is *semantic* (changes
+    abstraction level, consumes platform knowledge) or *syntactic* (same
+    semantics re-expressed), per the paper's distinction.
+    ``abstraction_delta`` counts the levels descended (negative = toward
+    platform).
+    """
+
+    def __init__(self, name: str, rules: Optional[Iterable[Rule]] = None, *,
+                 kind: str = "semantic", abstraction_delta: int = -1,
+                 description: str = ""):
+        self.name = name
+        self.rules: List[Rule] = list(rules or [])
+        self.kind = kind
+        self.abstraction_delta = abstraction_delta
+        self.description = description
+
+    def add_rule(self, rule: Rule) -> Rule:
+        self.rules.append(rule)
+        return rule
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, source: Union[Model, Element, Iterable[Element]], *,
+            platform: Any = None,
+            parameters: Optional[Dict[str, Any]] = None
+            ) -> TransformationResult:
+        """Transform *source* (a model, one root, or several roots)."""
+        started = time.perf_counter()
+        roots = self._roots_of(source)
+        ctx = TransformationContext(self, roots, platform, parameters)
+        visited = 0
+
+        # Phase 1: create
+        for element in self._all_elements(roots):
+            visited += 1
+            for candidate in self.rules:
+                if candidate.lazy or not candidate.matches(element, ctx):
+                    continue
+                self._apply_rule(candidate, element, ctx)
+                if candidate.exclusive:
+                    break
+
+        # Phase 2: bind
+        for link in list(ctx.trace):
+            self._bind_link(link, ctx)
+
+        result = TransformationResult(
+            target_roots=self._collect_roots(ctx),
+            trace=ctx.trace,
+            elements_visited=visited,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        return result
+
+    @staticmethod
+    def _roots_of(source: Union[Model, Element, Iterable[Element]]
+                  ) -> List[Element]:
+        if isinstance(source, Model):
+            return list(source.roots)
+        if isinstance(source, Element):
+            return [source]
+        return list(source)
+
+    @staticmethod
+    def _all_elements(roots: List[Element]):
+        for root in roots:
+            yield root
+            yield from root.all_contents()
+
+    def _apply_rule(self, rule_obj: Rule, element: Element,
+                    ctx: TransformationContext) -> Optional[TraceLink]:
+        produced = rule_obj.create(element, ctx)
+        if produced is None:
+            targets: Dict[str, Element] = {}
+        elif isinstance(produced, dict):
+            targets = produced
+        elif isinstance(produced, Element):
+            targets = {DEFAULT_ROLE: produced}
+        else:
+            raise TransformError(
+                f"rule '{rule_obj.name}' returned {produced!r}; expected "
+                f"an Element, a role dict, or None")
+        link = TraceLink(rule_obj.name, element, targets)
+        ctx.trace.add(link)
+        return link
+
+    def _bind_link(self, link: TraceLink, ctx: TransformationContext) -> None:
+        rule_obj = self._rule_named(link.rule_name)
+        if rule_obj is not None:
+            rule_obj.bind(link.source, link.targets, ctx)
+
+    def _rule_named(self, name: str) -> Optional[Rule]:
+        for rule_obj in self.rules:
+            if rule_obj.name == name:
+                return rule_obj
+        return None
+
+    @staticmethod
+    def _collect_roots(ctx: TransformationContext) -> List[Element]:
+        """Container-less targets, in creation order, are the new roots."""
+        roots: List[Element] = []
+        for link in ctx.trace:
+            for target in link.targets.values():
+                if target.container is None and target not in roots:
+                    roots.append(target)
+        return roots
+
+    @property
+    def is_semantic(self) -> bool:
+        return self.kind == "semantic"
+
+    @property
+    def is_syntactic(self) -> bool:
+        return self.kind == "syntactic"
+
+    def __repr__(self) -> str:
+        return (f"<Transformation {self.name} ({self.kind}, "
+                f"{len(self.rules)} rules)>")

@@ -1,0 +1,29 @@
+"""Errors raised by the transformation engine."""
+
+from __future__ import annotations
+
+
+class TransformError(Exception):
+    """Base class for transformation failures."""
+
+
+class RuleError(TransformError):
+    """A rule is ill-formed (no source type, bad guard, ...)."""
+
+
+class UnresolvedTraceError(TransformError):
+    """A bind phase asked for the image of a source element that no rule
+    transformed."""
+
+    def __init__(self, source: object, role: str):
+        self.source = source
+        self.role = role
+        super().__init__(
+            f"no trace target for {source!r} (role {role!r}); "
+            f"did a rule forget to transform it?"
+        )
+
+
+class GateClosedError(TransformError):
+    """A methodology gate refused to let the transformation run (failing
+    tests at the source abstraction level)."""

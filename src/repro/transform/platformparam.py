@@ -1,0 +1,60 @@
+"""Platform-parametric transformations.
+
+The paper's generalisation of MDA: "a model may actually be a structure of
+models and a transformation a generic engine that takes a model of a
+platform as its parameter."  A :class:`PlatformParametricTransformation`
+wraps a factory that, given a platform description model, produces the
+concrete :class:`~repro.transform.engine.Transformation` for that platform
+— one generic engine, many platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from ..mof.kernel import Element
+from ..mof.repository import Model
+from .engine import Transformation, TransformationResult
+
+TransformationFactory = Callable[[Any], Transformation]
+
+
+class PlatformParametricTransformation:
+    """A generic engine instantiated per platform model."""
+
+    def __init__(self, name: str, factory: TransformationFactory, *,
+                 description: str = ""):
+        self.name = name
+        self.factory = factory
+        self.description = description
+        self._cache: Dict[int, Transformation] = {}
+
+    def for_platform(self, platform: Any) -> Transformation:
+        """The concrete transformation for *platform* (cached per platform
+        object)."""
+        key = id(platform)
+        if key not in self._cache:
+            transformation = self.factory(platform)
+            transformation.name = f"{self.name}[{_platform_label(platform)}]"
+            self._cache[key] = transformation
+        return self._cache[key]
+
+    def run(self, source: Union[Model, Element, List[Element]],
+            platform: Any,
+            parameters: Optional[Dict[str, Any]] = None
+            ) -> TransformationResult:
+        """Instantiate for *platform* and run — the platform model is both
+        the factory parameter and available to rules as ``ctx.platform``."""
+        transformation = self.for_platform(platform)
+        return transformation.run(source, platform=platform,
+                                  parameters=parameters)
+
+    def __repr__(self) -> str:
+        return f"<PlatformParametricTransformation {self.name}>"
+
+
+def _platform_label(platform: Any) -> str:
+    name = getattr(platform, "name", None)
+    if isinstance(name, str) and name:
+        return name
+    return type(platform).__name__

@@ -1,0 +1,128 @@
+"""Refinement checking between a source model and a transformation result.
+
+A PSM *refines* its PIM when nothing the PIM promised was dropped and the
+structure was mapped coherently.  These checks operate purely on the trace
+model, which makes them transformation-agnostic:
+
+* **completeness** — every source element of the required metaclasses has
+  an image;
+* **name preservation** — images keep (or embed) their origin's name;
+* **containment coherence** — if two mapped source elements are in a
+  container/contained relationship, their images are too (possibly across
+  several levels), unless the transformation explicitly restructured them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from ..mof.kernel import Element, MetaClass
+from ..mof.validate import Severity, ValidationReport
+from .engine import TransformationResult
+from .trace import TraceModel
+
+
+def _metaclasses(specs: Iterable[Union[MetaClass, type]]) -> List[MetaClass]:
+    out: List[MetaClass] = []
+    for spec in specs:
+        out.append(spec if isinstance(spec, MetaClass) else spec._meta)
+    return out
+
+
+def _name_of(element: Element) -> Optional[str]:
+    feature = element.meta.find_feature("name")
+    if feature is None or feature.many:
+        return None
+    value = element.eget("name")
+    return value if isinstance(value, str) else None
+
+
+def _transitively_contains(ancestor: Element, descendant: Element) -> bool:
+    current: Optional[Element] = descendant.container
+    while current is not None:
+        if current is ancestor:
+            return True
+        current = current.container
+    return False
+
+
+def check_refinement(source_roots: Union[Element, List[Element]],
+                     result: TransformationResult, *,
+                     required_types: Iterable[Union[MetaClass, type]] = (),
+                     name_preserving: bool = True,
+                     check_containment: bool = True) -> ValidationReport:
+    """Validate that *result* is a refinement of the source model."""
+    if isinstance(source_roots, Element):
+        source_roots = [source_roots]
+    report = ValidationReport()
+    trace: TraceModel = result.trace
+    required = _metaclasses(required_types)
+
+    # completeness
+    for root in source_roots:
+        for element in [root] + list(root.all_contents()):
+            if required and not any(element.meta.conforms_to(mc)
+                                    for mc in required):
+                continue
+            if required and not trace.is_transformed(element):
+                report.add(Severity.ERROR, element,
+                           "source element has no image in the target "
+                           "model", code="refine-incomplete")
+
+    # name preservation + containment coherence
+    for link in trace:
+        source_name = _name_of(link.source)
+        for role, target in link.targets.items():
+            if name_preserving and source_name:
+                target_name = _name_of(target)
+                if target_name is not None and \
+                        source_name.lower() not in target_name.lower():
+                    report.add(Severity.WARNING, target,
+                               f"image '{target_name}' does not embed "
+                               f"origin name '{source_name}'",
+                               code="refine-name")
+    if check_containment:
+        _check_containment_coherence(trace, report)
+    return report
+
+
+def _check_containment_coherence(trace: TraceModel,
+                                 report: ValidationReport) -> None:
+    for link in trace:
+        source = link.source
+        container = source.container
+        if container is None or not trace.is_transformed(container):
+            continue
+        source_image = link.target()
+        container_image = trace.resolve(container)
+        if source_image is None or container_image is None:
+            continue
+        if source_image is container_image:
+            continue    # merged into the same target: coherent
+        if not _transitively_contains(container_image, source_image):
+            report.add(Severity.WARNING, source_image,
+                       f"containment not preserved: origin was inside "
+                       f"{container!r} but image is not inside its image",
+                       code="refine-containment")
+
+
+def refinement_completeness_ratio(
+        source_roots: Union[Element, List[Element]],
+        trace: TraceModel,
+        required_types: Iterable[Union[MetaClass, type]] = ()) -> float:
+    """Fraction of (required) source elements that have an image —
+    a scalar used by the experiment harness."""
+    if isinstance(source_roots, Element):
+        source_roots = [source_roots]
+    required = _metaclasses(required_types)
+    total = 0
+    mapped = 0
+    for root in source_roots:
+        for element in [root] + list(root.all_contents()):
+            if required and not any(element.meta.conforms_to(mc)
+                                    for mc in required):
+                continue
+            total += 1
+            if trace.is_transformed(element):
+                mapped += 1
+    return mapped / total if total else 1.0

@@ -1,0 +1,145 @@
+"""UML structural and behavioural features: properties, operations,
+parameters.
+
+``Property`` doubles as a plain attribute and as a navigable association
+end (its ``association`` reference is set in the latter case), following
+UML's ownership model: navigable ends are owned by the classifier,
+non-navigable ends by the association.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..mof import (
+    Attribute,
+    M_0N,
+    MBoolean,
+    MInteger,
+    MetaEnum,
+    MString,
+    Reference,
+)
+from .package import NamedElement, UML
+
+AggregationKind = MetaEnum(
+    "AggregationKind", ["none", "shared", "composite"], package=UML)
+
+ParameterDirection = MetaEnum(
+    "ParameterDirection", ["in", "out", "inout", "return"], package=UML)
+
+VisibilityKind = MetaEnum(
+    "VisibilityKind", ["public", "private", "protected", "package"],
+    package=UML)
+
+
+class TypedElement(NamedElement):
+    """A named element with a type (M1-level type, i.e. a classifier)."""
+
+    _mof_abstract = True
+
+    type = Reference("Type", doc="The classifier typing this element.")
+
+
+class MultiplicityElement(TypedElement):
+    """A typed element with UML multiplicity bounds (-1 encodes ``*``)."""
+
+    _mof_abstract = True
+
+    lower = Attribute(MInteger, 1)
+    upper = Attribute(MInteger, 1, doc="-1 means unbounded (*).")
+
+    @property
+    def is_many(self) -> bool:
+        return self.upper == -1 or self.upper > 1
+
+    def multiplicity_str(self) -> str:
+        upper = "*" if self.upper == -1 else str(self.upper)
+        if str(self.lower) == upper:
+            return upper
+        return f"{self.lower}..{upper}"
+
+
+class Property(MultiplicityElement):
+    """An attribute of a classifier or an association end."""
+
+    visibility = Attribute(VisibilityKind, "private")
+    aggregation = Attribute(AggregationKind, "none")
+    is_derived = Attribute(MBoolean, False)
+    is_read_only = Attribute(MBoolean, False)
+    default_value = Attribute(MString, doc="Textual default value.")
+    owner = Reference("StructuredClassifier",
+                      doc="Owning classifier (for class-owned properties).")
+    association = Reference("Association", opposite="member_ends",
+                            doc="Set when this property is an association "
+                                "end.")
+
+    @property
+    def is_association_end(self) -> bool:
+        return self.association is not None
+
+    @property
+    def is_composite(self) -> bool:
+        return self.aggregation == "composite"
+
+    def opposite_end(self) -> Optional["Property"]:
+        """The other end of the owning association, if any."""
+        if self.association is None:
+            return None
+        ends = list(self.association.member_ends)
+        for end in ends:
+            if end is not self:
+                return end
+        return None
+
+
+class Parameter(MultiplicityElement):
+    """A parameter of an operation (or signal)."""
+
+    direction = Attribute(ParameterDirection, "in")
+    default_value = Attribute(MString)
+
+
+class Operation(NamedElement):
+    """A behavioural feature of a classifier."""
+
+    visibility = Attribute(VisibilityKind, "public")
+    is_abstract = Attribute(MBoolean, False)
+    is_query = Attribute(MBoolean, False,
+                         doc="True when the operation has no side effects.")
+    is_static = Attribute(MBoolean, False)
+    owner = Reference("StructuredClassifier")
+    parameters = Reference(Parameter, containment=True, multiplicity=M_0N)
+    method = Reference("Behavior",
+                       doc="The behaviour implementing this operation.")
+    body = Attribute(MString, doc="Inline action-language body (shorthand "
+                                  "for a full OpaqueBehavior).")
+
+    def in_parameters(self) -> List[Parameter]:
+        return [p for p in self.parameters if p.direction in ("in", "inout")]
+
+    def return_parameter(self) -> Optional[Parameter]:
+        for parameter in self.parameters:
+            if parameter.direction == "return":
+                return parameter
+        return None
+
+    def return_type(self):
+        parameter = self.return_parameter()
+        return parameter.type if parameter is not None else None
+
+    def signature(self) -> str:
+        params = ", ".join(
+            f"{p.name}: {p.type.name if p.type else '?'}"
+            for p in self.in_parameters())
+        result = self.return_type()
+        suffix = f" -> {result.name}" if result is not None else ""
+        return f"{self.name}({params}){suffix}"
+
+    def add_parameter(self, name: str, type=None,
+                      direction: str = "in") -> Parameter:
+        parameter = Parameter(name=name, direction=direction)
+        if type is not None:
+            parameter.type = type
+        self.parameters.append(parameter)
+        return parameter

@@ -1,0 +1,103 @@
+"""UML interactions (sequence diagrams): lifelines and messages.
+
+Interactions serve two roles in the methodology the paper advocates:
+
+* they *realise* use cases as concrete message scenarios, and
+* they act as **tests** — ``repro.validation.scenarios`` replays an
+  interaction against a simulated object collaboration and reports whether
+  the emergent behaviour conforms.
+
+Crucially, a lifeline must ``represent`` a classifier from the class model;
+the well-formedness rules flag "floating" lifelines, which the paper calls
+out as the classic failure of use-case-driven development ("the objects are
+never shown nor specified in a class diagram").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..mof import (
+    Attribute,
+    M_0N,
+    MetaEnum,
+    MString,
+    Reference,
+)
+from .classifiers import Behavior, Classifier
+from .package import NamedElement, UML
+
+MessageSort = MetaEnum(
+    "MessageSort",
+    ["synchCall", "asynchCall", "asynchSignal", "reply", "createMessage"],
+    package=UML)
+
+
+class Lifeline(NamedElement):
+    """A participant in an interaction."""
+
+    represents = Reference(Classifier,
+                           doc="The classifier whose instance this lifeline "
+                               "stands for. Mandatory for well-formed "
+                               "interactions.")
+
+
+class Message(NamedElement):
+    """One communication between lifelines.
+
+    ``name`` is the operation/signal name; ``arguments`` carries textual
+    argument values in order.
+    """
+
+    sort = Attribute(MessageSort, "synchCall")
+    send_lifeline = Reference(Lifeline)
+    receive_lifeline = Reference(Lifeline)
+    arguments = Attribute(MString, multiplicity=M_0N)
+
+    def label(self) -> str:
+        args = ", ".join(self.arguments)
+        return f"{self.name}({args})"
+
+
+class Interaction(Behavior):
+    """An ordered set of messages among lifelines."""
+
+    lifelines = Reference(Lifeline, containment=True, multiplicity=M_0N)
+    messages = Reference(Message, containment=True, multiplicity=M_0N,
+                         doc="Messages in (total) temporal order.")
+
+    # -- construction helpers -------------------------------------------
+
+    def add_lifeline(self, name: str,
+                     represents: Optional[Classifier] = None) -> Lifeline:
+        lifeline = Lifeline(name=name)
+        if represents is not None:
+            lifeline.represents = represents
+        self.lifelines.append(lifeline)
+        return lifeline
+
+    def add_message(self, sender: Lifeline, receiver: Lifeline, name: str, *,
+                    sort: str = "synchCall",
+                    arguments: Optional[List[str]] = None) -> Message:
+        message = Message(name=name, sort=sort,
+                          send_lifeline=sender, receive_lifeline=receiver)
+        if arguments:
+            message.arguments = list(arguments)
+        self.messages.append(message)
+        return message
+
+    # -- queries ----------------------------------------------------------
+
+    def lifeline(self, name: str) -> Optional[Lifeline]:
+        for lifeline in self.lifelines:
+            if lifeline.name == name:
+                return lifeline
+        return None
+
+    def message_names(self) -> List[str]:
+        return [m.name for m in self.messages]
+
+    def floating_lifelines(self) -> List[Lifeline]:
+        """Lifelines not backed by any classifier — the anti-pattern the
+        paper criticises."""
+        return [l for l in self.lifelines if l.represents is None]

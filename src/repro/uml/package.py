@@ -1,0 +1,109 @@
+"""UML metamodel foundation: named elements, packages, models.
+
+The whole UML subset lives in one ``MetaPackage`` (``UML``), so string
+reference targets resolve across the ``repro.uml`` modules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..mof import (
+    Attribute,
+    Element,
+    M_0N,
+    MetaPackage,
+    MString,
+    Reference,
+)
+
+UML = MetaPackage("uml", uri="urn:repro:uml")
+"""The metamodel package holding every UML metaclass."""
+
+
+class UmlElement(Element):
+    """Root of the UML metaclass hierarchy."""
+
+    _mof_package = UML
+    _mof_abstract = True
+
+
+class Comment(UmlElement):
+    """An annotation attached to its owner by containment."""
+
+    body = Attribute(MString, doc="The comment text.")
+
+
+class NamedElement(UmlElement):
+    """An element with a (possibly qualified) name."""
+
+    _mof_abstract = True
+
+    name = Attribute(MString, doc="The element's simple name.")
+    comments = Reference(Comment, containment=True, multiplicity=M_0N,
+                         doc="Annotations owned by this element.")
+
+    @property
+    def qualified_name(self) -> str:
+        """Names of all named ancestors joined with ``::``."""
+        parts: List[str] = []
+        current: Optional[Element] = self
+        while current is not None:
+            name = None
+            feature = current.meta.find_feature("name")
+            if feature is not None and not feature.many:
+                name = current.eget("name")
+            if name:
+                parts.append(name)
+            current = current.container
+        return "::".join(reversed(parts))
+
+    def __repr__(self) -> str:
+        label = f" '{self.name}'" if self.name else ""
+        return f"<{self.meta.name}{label}>"
+
+
+class PackageableElement(NamedElement):
+    """Anything a package may directly own."""
+
+    _mof_abstract = True
+
+
+class Package(PackageableElement):
+    """A namespace grouping packageable elements (classes, nested packages,
+    state machines, use cases, ...)."""
+
+    packaged_elements = Reference(PackageableElement, containment=True,
+                                  multiplicity=M_0N,
+                                  doc="Directly owned elements.")
+
+    def add(self, element: PackageableElement) -> PackageableElement:
+        """Own *element* and return it (builder convenience)."""
+        self.packaged_elements.append(element)
+        return element
+
+    def member(self, name: str) -> Optional[PackageableElement]:
+        """Direct member with the given simple name, or None."""
+        for element in self.packaged_elements:
+            if element.name == name:
+                return element
+        return None
+
+    def members_of_type(self, metaclass) -> List[PackageableElement]:
+        """Direct members conforming to *metaclass* (MetaClass or Element
+        subclass)."""
+        if isinstance(metaclass, type):
+            metaclass = metaclass._meta
+        return [e for e in self.packaged_elements
+                if e.meta.conforms_to(metaclass)]
+
+    def all_members(self) -> Iterator[PackageableElement]:
+        """All transitively packaged elements (through nested packages and
+        any other containment)."""
+        for element in self.all_contents():
+            if isinstance(element, PackageableElement):
+                yield element
+
+
+class UmlModel(Package):
+    """The root package of a user model (UML's ``Model``)."""

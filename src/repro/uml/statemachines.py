@@ -1,0 +1,234 @@
+"""UML state machines: hierarchical states, regions, transitions.
+
+Guards are OCL-like boolean expressions over the context object's
+attributes; effects/entry/exit actions are written in the small action
+language interpreted by ``repro.validation.statemachine_sim`` (assignment,
+``send`` and ``call`` statements).  Keeping behaviour textual keeps models
+serializable and analyzable — the model checker enumerates exactly the same
+semantics the simulator executes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..mof import (
+    Attribute,
+    M_0N,
+    MetaEnum,
+    MString,
+    Reference,
+)
+from .classifiers import Behavior
+from .package import NamedElement, UML
+
+PseudostateKind = MetaEnum(
+    "PseudostateKind",
+    ["initial", "choice", "junction", "shallowHistory", "deepHistory",
+     "terminate"],
+    package=UML)
+
+
+class Vertex(NamedElement):
+    """A node in a region: state, pseudostate or final state."""
+
+    _mof_abstract = True
+
+    @property
+    def container_region(self) -> Optional["Region"]:
+        parent = self.container
+        return parent if isinstance(parent, Region) else None
+
+    def outgoing(self) -> List["Transition"]:
+        region = self.container_region
+        if region is None:
+            return []
+        return [t for t in region.transitions if t.source is self]
+
+    def incoming(self) -> List["Transition"]:
+        region = self.container_region
+        if region is None:
+            return []
+        return [t for t in region.transitions if t.target is self]
+
+
+class Pseudostate(Vertex):
+    """Transient control node (initial, choice, junction, ...)."""
+
+    kind = Attribute(PseudostateKind, "initial")
+
+
+class FinalState(Vertex):
+    """Entering a final state completes the enclosing region."""
+
+
+class State(Vertex):
+    """A stable situation; may be composite via owned regions."""
+
+    entry = Attribute(MString, doc="Action executed on entry.")
+    exit = Attribute(MString, doc="Action executed on exit.")
+    do_activity = Attribute(MString, doc="Activity while in the state.")
+    regions = Reference("Region", containment=True, multiplicity=M_0N)
+
+    @property
+    def is_composite(self) -> bool:
+        return len(self.regions) > 0
+
+    def add_region(self, name: str = "") -> "Region":
+        region = Region(name=name)
+        self.regions.append(region)
+        return region
+
+    def all_substates(self) -> Iterator["State"]:
+        for region in self.regions:
+            for vertex in region.subvertices:
+                if isinstance(vertex, State):
+                    yield vertex
+                    yield from vertex.all_substates()
+
+
+TransitionKind = MetaEnum("TransitionKind", ["external", "internal"],
+                          package=UML)
+
+
+class Transition(NamedElement):
+    """An edge between vertices of the same state machine.
+
+    ``trigger`` is an event name (empty = completion transition); ``guard``
+    an OCL-like boolean expression; ``effect`` an action-language program.
+    An ``internal`` transition (UML kind internal) must be a self-loop and
+    fires without exiting/re-entering its state — entry/exit actions do
+    not run.
+    """
+
+    source = Reference(Vertex)
+    target = Reference(Vertex)
+    trigger = Attribute(MString, doc="Triggering event name; '' means "
+                                     "completion transition.")
+    guard = Attribute(MString, doc="OCL-like guard over context attributes.")
+    effect = Attribute(MString, doc="Action-language effect.")
+    kind = Attribute(TransitionKind, "external")
+
+    @property
+    def is_internal(self) -> bool:
+        return self.kind == "internal"
+
+    @property
+    def is_completion(self) -> bool:
+        return not self.trigger
+
+    def label(self) -> str:
+        parts = [self.trigger or ""]
+        if self.guard:
+            parts.append(f"[{self.guard}]")
+        if self.effect:
+            parts.append(f"/{self.effect}")
+        return "".join(parts)
+
+
+class Region(NamedElement):
+    """An orthogonal part of a state machine or composite state."""
+
+    subvertices = Reference(Vertex, containment=True, multiplicity=M_0N)
+    transitions = Reference(Transition, containment=True, multiplicity=M_0N)
+
+    # -- construction helpers -------------------------------------------
+
+    def add_state(self, name: str, *, entry: str = "", exit: str = "",
+                  do_activity: str = "") -> State:
+        state = State(name=name, entry=entry, exit=exit,
+                      do_activity=do_activity)
+        self.subvertices.append(state)
+        return state
+
+    def add_initial(self, name: str = "initial") -> Pseudostate:
+        pseudo = Pseudostate(name=name, kind="initial")
+        self.subvertices.append(pseudo)
+        return pseudo
+
+    def add_choice(self, name: str) -> Pseudostate:
+        pseudo = Pseudostate(name=name, kind="choice")
+        self.subvertices.append(pseudo)
+        return pseudo
+
+    def add_final(self, name: str = "final") -> FinalState:
+        final = FinalState(name=name)
+        self.subvertices.append(final)
+        return final
+
+    def add_transition(self, source: Vertex, target: Vertex, *,
+                       trigger: str = "", guard: str = "",
+                       effect: str = "", name: str = "",
+                       kind: str = "external") -> Transition:
+        transition = Transition(name=name, source=source, target=target,
+                                trigger=trigger, guard=guard, effect=effect,
+                                kind=kind)
+        self.transitions.append(transition)
+        return transition
+
+    # -- queries ----------------------------------------------------------
+
+    def initial_pseudostate(self) -> Optional[Pseudostate]:
+        for vertex in self.subvertices:
+            if isinstance(vertex, Pseudostate) and vertex.kind == "initial":
+                return vertex
+        return None
+
+    def states(self) -> List[State]:
+        return [v for v in self.subvertices if isinstance(v, State)]
+
+    def vertex(self, name: str) -> Optional[Vertex]:
+        for vertex in self.subvertices:
+            if vertex.name == name:
+                return vertex
+        return None
+
+
+class StateMachine(Behavior):
+    """A behaviour expressed as an event-driven transition system."""
+
+    regions = Reference(Region, containment=True, multiplicity=M_0N)
+
+    def add_region(self, name: str = "main") -> Region:
+        region = Region(name=name)
+        self.regions.append(region)
+        return region
+
+    def main_region(self) -> Region:
+        """The first region, created on demand."""
+        if not self.regions:
+            return self.add_region()
+        return self.regions[0]
+
+    def all_vertices(self) -> List[Vertex]:
+        out: List[Vertex] = []
+        stack: List[Region] = list(self.regions)
+        while stack:
+            region = stack.pop(0)
+            for vertex in region.subvertices:
+                out.append(vertex)
+                if isinstance(vertex, State):
+                    stack.extend(vertex.regions)
+        return out
+
+    def all_transitions(self) -> List[Transition]:
+        out: List[Transition] = []
+        stack: List[Region] = list(self.regions)
+        while stack:
+            region = stack.pop(0)
+            out.extend(region.transitions)
+            for vertex in region.subvertices:
+                if isinstance(vertex, State):
+                    stack.extend(vertex.regions)
+        return out
+
+    def find_state(self, name: str) -> Optional[State]:
+        for vertex in self.all_vertices():
+            if isinstance(vertex, State) and vertex.name == name:
+                return vertex
+        return None
+
+    def events(self) -> List[str]:
+        """All distinct trigger names, sorted."""
+        return sorted({t.trigger for t in self.all_transitions()
+                       if t.trigger})

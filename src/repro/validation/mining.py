@@ -1,0 +1,67 @@
+"""Interaction mining: observed traces back into interaction models.
+
+Closes the loop the paper draws between emergent behaviour and the
+scenarios that specify it: after a collaboration run, the *observed*
+message flow is reverse-engineered into a proper
+:class:`~repro.uml.interactions.Interaction` — lifelines backed by the
+participating classifiers (so it is well-formed by construction, unlike
+the "floating lifeline" anti-pattern) — ready to be reviewed, serialized
+next to the model, or promoted into a use case's regression scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..uml import Interaction, Lifeline, UseCase
+from .collaboration import Collaboration
+from .scenarios import Scenario
+
+
+def interaction_from_trace(collaboration: Collaboration,
+                           name: Optional[str] = None) -> Interaction:
+    """Build an interaction from the messages a run actually produced.
+
+    Lifelines are named after the collaboration's objects and represent
+    their classes; one message per observed (sender, receiver, event),
+    in order, tagged asynchSignal (the simulator's semantics).
+    """
+    interaction = Interaction(
+        name=name or f"{collaboration.name}_observed")
+    lifelines: Dict[str, Lifeline] = {}
+
+    def lifeline_for(object_name: str) -> Optional[Lifeline]:
+        if object_name in lifelines:
+            return lifelines[object_name]
+        instance = collaboration.objects.get(object_name)
+        if instance is None:
+            return None
+        lifeline = interaction.add_lifeline(object_name, instance.clazz)
+        lifelines[object_name] = lifeline
+        return lifeline
+
+    for sender, receiver, event in collaboration.messages():
+        sender_line = lifeline_for(sender)
+        receiver_line = lifeline_for(receiver)
+        if sender_line is None or receiver_line is None:
+            continue
+        interaction.add_message(sender_line, receiver_line, event,
+                                sort="asynchSignal")
+    return interaction
+
+
+def promote_to_regression(usecase: UseCase,
+                          collaboration: Collaboration,
+                          name: Optional[str] = None) -> Interaction:
+    """Record a run as a realising scenario of *usecase* — today's
+    observed behaviour becomes tomorrow's regression test."""
+    interaction = interaction_from_trace(
+        collaboration, name or f"{usecase.name}_regression")
+    usecase.scenarios.append(interaction)
+    return interaction
+
+
+def scenario_from_interaction(interaction: Interaction) -> Scenario:
+    """The mined interaction as a replayable scenario (all messages
+    expected, no external stimuli — callers add those)."""
+    return Scenario.from_interaction(interaction)

@@ -1,0 +1,106 @@
+"""The model quality dashboard: one report per model, all test kinds.
+
+The paper's closing complaint is "documentation oriented methods in which
+the documentation is more important than the actual product".  The
+antidote is a single, regenerable answer to "is this model any good?" —
+structure, well-formedness, metrics, purity and (optionally) requirement
+traceability folded into one text report with an overall verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..method.concerns import check_domain_purity
+from ..mof.validate import validate_tree
+from ..platforms.base import PlatformModel
+from ..profiles.sysml import traceability_matrix
+from ..uml import Package
+from ..uml.wellformed import check_model
+from .metrics import compute_model_metrics
+
+
+@dataclass
+class SectionResult:
+    title: str
+    passed: bool
+    lines: List[str] = field(default_factory=list)
+
+
+@dataclass
+class QualityReport:
+    model_name: str
+    sections: List[SectionResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(section.passed for section in self.sections)
+
+    def section(self, title: str) -> SectionResult:
+        for section in self.sections:
+            if section.title == title:
+                return section
+        raise KeyError(title)
+
+    def render(self) -> str:
+        width = 64
+        out = [f"{' model quality report: ' + self.model_name + ' ':=^{width}}"]
+        for section in self.sections:
+            status = "PASS" if section.passed else "FAIL"
+            out.append(f"-- {section.title} [{status}]")
+            out.extend(f"   {line}" for line in section.lines)
+        verdict = "PASS" if self.passed else "FAIL"
+        out.append(f"{' overall: ' + verdict + ' ':=^{width}}")
+        return "\n".join(out)
+
+
+def quality_report(root: Package, *,
+                   platforms: Sequence[PlatformModel] = (),
+                   include_traceability: bool = False,
+                   max_coupling_density: float = 0.75,
+                   max_single_operation_ratio: float = 0.5
+                   ) -> QualityReport:
+    """Run every applicable model test over *root* and fold the results."""
+    report = QualityReport(root.name or "(unnamed)")
+
+    structural = validate_tree(root)
+    report.sections.append(SectionResult(
+        "structural validity", structural.ok,
+        [str(d) for d in structural.errors] or ["no errors"]))
+
+    wellformed = check_model(root)
+    lines = [str(d) for d in wellformed.errors]
+    lines += [str(d) for d in wellformed.warnings]
+    report.sections.append(SectionResult(
+        "uml well-formedness", wellformed.ok, lines or ["no findings"]))
+
+    metrics = compute_model_metrics(root)
+    metric_ok = (metrics.coupling_density <= max_coupling_density
+                 and metrics.single_operation_ratio
+                 <= max_single_operation_ratio)
+    report.sections.append(SectionResult(
+        "design metrics", metric_ok,
+        [metrics.summary(),
+         f"thresholds: coupling<= {max_coupling_density} "
+         f"single-op<= {max_single_operation_ratio}"]))
+
+    purity = check_domain_purity(root, platforms)
+    report.sections.append(SectionResult(
+        "domain purity", purity.clean,
+        [str(f) for f in purity.findings]
+        or [f"clean ({purity.elements_scanned} elements scanned)"]))
+
+    if include_traceability:
+        matrix = traceability_matrix(root)
+        trace_ok = (matrix.satisfaction_coverage == 1.0
+                    and matrix.verification_coverage == 1.0)
+        lines = [matrix.summary()]
+        lines += [f"unsatisfied: {row.req_id} {row.name}"
+                  for row in matrix.unsatisfied()]
+        lines += [f"unverified: {row.req_id} {row.name}"
+                  for row in matrix.unverified()]
+        report.sections.append(SectionResult(
+            "requirement traceability", trace_ok, lines))
+
+    return report

@@ -1,0 +1,16 @@
+"""``repro.xmi`` — model interchange: XMI-style XML and JSON.
+
+* :func:`write_xml` / :func:`read_xml`
+* :func:`write_json` / :func:`read_json`
+* :class:`TypeRegistry` for label → metaclass resolution
+"""
+
+from .ids import assign_ids
+from .jsonio import read_json, write_json
+from .reader import TypeRegistry, XmiReader, read_xml
+from .writer import XmiWriter, write_xml
+
+__all__ = [
+    "TypeRegistry", "XmiReader", "XmiWriter", "assign_ids", "read_json",
+    "read_xml", "write_json", "write_xml",
+]

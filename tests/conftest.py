@@ -1,0 +1,134 @@
+"""Shared fixtures: reference models, platforms, collaborations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mof import (
+    Attribute,
+    Element,
+    M_0N,
+    MetaPackage,
+    MInteger,
+    MString,
+    Reference,
+)
+from repro.platforms import (
+    baremetal_platform,
+    middleware_platform,
+    posix_platform,
+)
+from repro.uml import ModelFactory, StateMachine
+from repro.validation import Collaboration
+
+# ---------------------------------------------------------------------------
+# A tiny static metamodel used by kernel-level tests (module-level so the
+# classes are created exactly once).
+# ---------------------------------------------------------------------------
+
+from kernel_fixture import (   # noqa: F401  (re-exported for fixtures)
+    TEST_PKG,
+    TBook,
+    TChapter,
+    TLibrary,
+    TNamed,
+)
+
+
+@pytest.fixture
+def library():
+    lib = TLibrary(name="lib")
+    b1 = TBook(name="b1", pages=10)
+    b2 = TBook(name="b2", pages=20)
+    lib.books.extend([b1, b2])
+    return lib, b1, b2
+
+
+# ---------------------------------------------------------------------------
+# UML-level fixtures
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def factory():
+    return ModelFactory("m")
+
+
+@pytest.fixture
+def cruise_model():
+    """A small realistic PIM: sensor -> controller -> actuator."""
+    f = ModelFactory("cruise")
+    sensor = f.clazz("SpeedSensor", attrs={"speed": "Integer"},
+                     is_active=True)
+    controller = f.clazz("CruiseController",
+                         attrs={"target": "Integer", "enabled": "Boolean"},
+                         is_active=True)
+    actuator = f.clazz("ThrottleActuator", attrs={"level": "Integer"},
+                       is_active=True)
+    f.associate(sensor, controller, name="measures", end_b="controller",
+                navigable_b_to_a=True, end_a="sensor")
+    f.associate(controller, actuator, name="drives", end_b="actuator",
+                navigable_b_to_a=True, end_a="controller")
+
+    sm = StateMachine(name="CruiseSM")
+    controller.owned_behaviors.append(sm)
+    controller.classifier_behavior = sm
+    region = sm.main_region()
+    initial = region.add_initial()
+    off = region.add_state("Off")
+    on = region.add_state("On")
+    region.add_transition(initial, off)
+    region.add_transition(off, on, trigger="engage",
+                          effect="enabled := true; send actuator.apply()")
+    region.add_transition(on, off, trigger="disengage",
+                          effect="enabled := false; send actuator.release()")
+    region.add_transition(on, on, trigger="tick",
+                          guard="enabled = true",
+                          effect="send actuator.apply()")
+
+    act_sm = StateMachine(name="ThrottleSM")
+    actuator.owned_behaviors.append(act_sm)
+    actuator.classifier_behavior = act_sm
+    act_region = act_sm.main_region()
+    act_initial = act_region.add_initial()
+    idle = act_region.add_state("Idle")
+    applied = act_region.add_state("Applied")
+    act_region.add_transition(act_initial, idle)
+    act_region.add_transition(idle, applied, trigger="apply",
+                              effect="level := level + 1")
+    act_region.add_transition(applied, applied, trigger="apply",
+                              effect="level := level + 1")
+    act_region.add_transition(applied, idle, trigger="release",
+                              effect="level := 0")
+    return f
+
+
+@pytest.fixture
+def cruise_collaboration(cruise_model):
+    """An executable configuration of the cruise PIM."""
+    model = cruise_model.model
+    classes = {c.name: c for c in model.all_members()
+               if hasattr(c, "owned_attributes")}
+
+    def build():
+        collab = Collaboration("cruise")
+        collab.create_object("ctl", classes["CruiseController"])
+        collab.create_object("act", classes["ThrottleActuator"])
+        collab.link("ctl", "actuator", "act")
+        collab.link("act", "controller", "ctl")
+        return collab
+    return build
+
+
+@pytest.fixture(scope="session")
+def posix():
+    return posix_platform()
+
+
+@pytest.fixture(scope="session")
+def baremetal():
+    return baremetal_platform()
+
+
+@pytest.fixture(scope="session")
+def middleware():
+    return middleware_platform()

@@ -1,0 +1,45 @@
+"""Shared static test metamodel (kernel-level tests).
+
+Lives outside conftest so that test modules can import it by name even
+when several test roots (tests/, benchmarks/) are collected together.
+"""
+
+from repro.mof import (
+    Attribute,
+    Element,
+    M_0N,
+    MetaPackage,
+    MInteger,
+    MString,
+    Reference,
+)
+
+TEST_PKG = MetaPackage("testmm", uri="urn:test:mm")
+
+
+class TNamed(Element):
+    _mof_package = TEST_PKG
+    _mof_abstract = True
+    name = Attribute(MString)
+
+
+class TLibrary(TNamed):
+    books = Reference("TBook", containment=True, multiplicity=M_0N,
+                      opposite="library")
+    featured = Reference("TBook")
+
+
+class TBook(TNamed):
+    library = Reference(TLibrary)
+    pages = Attribute(MInteger, 100)
+    tags = Attribute(MString, multiplicity=M_0N)
+    sequel = Reference("TBook", opposite="prequel")
+    prequel = Reference("TBook")
+    chapters = Reference("TChapter", containment=True, multiplicity=M_0N,
+                         opposite="book")
+
+
+class TChapter(TNamed):
+    book = Reference(TBook)
+
+

@@ -1,0 +1,193 @@
+"""Tests for the command-line interface (driving main() directly)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.mof import Model
+from repro.profiles import SA_SCHEDULABLE
+from repro.xmi import write_xml
+
+
+@pytest.fixture
+def model_file(cruise_model, tmp_path):
+    model = Model("urn:cruise", "cruise")
+    model.add_root(cruise_model.model)
+    path = tmp_path / "cruise.xmi"
+    path.write_text(write_xml(model))
+    return str(path)
+
+
+@pytest.fixture
+def scheduled_model_file(cruise_model, tmp_path):
+    for name, period, wcet in (("SpeedSensor", 10.0, 2.0),
+                               ("CruiseController", 20.0, 5.0),
+                               ("ThrottleActuator", 20.0, 3.0)):
+        SA_SCHEDULABLE.apply(cruise_model.model.member(name),
+                             sa_period_ms=period, sa_wcet_ms=wcet)
+    model = Model("urn:cruise", "cruise")
+    model.add_root(cruise_model.model)
+    path = tmp_path / "cruise_rt.xmi"
+    path.write_text(write_xml(model))
+    return str(path)
+
+
+class TestValidate:
+    def test_clean_model(self, model_file, capsys):
+        assert main(["validate", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "structural: ok" in out
+        assert "well-formedness: ok" in out
+
+    def test_defective_model(self, factory, tmp_path, capsys):
+        factory.clazz("Dup")
+        factory.clazz("Dup")
+        model = Model("urn:bad")
+        model.add_root(factory.model)
+        path = tmp_path / "bad.xmi"
+        path.write_text(write_xml(model))
+        assert main(["validate", str(path)]) == 1
+        assert "uml-unique-name" not in capsys.readouterr().out  # msg text
+        # exit code is the contract; message content covered elsewhere
+
+    def test_missing_file(self, capsys):
+        assert main(["validate", "/nonexistent.xmi"]) == 2
+
+
+class TestMetrics:
+    def test_summary(self, model_file, capsys):
+        assert main(["metrics", model_file]) == 0
+        assert "coupling_density" in capsys.readouterr().out
+
+    def test_per_class(self, model_file, capsys):
+        assert main(["metrics", model_file, "--per-class"]) == 0
+        out = capsys.readouterr().out
+        assert "CruiseController" in out and "CBO" in out
+
+
+class TestCheck:
+    def test_clean(self, model_file, capsys):
+        assert main(["check", model_file, "--platform", "posix"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_polluted(self, factory, tmp_path, capsys):
+        factory.clazz("Worker_thread")
+        model = Model("urn:dirty")
+        model.add_root(factory.model)
+        path = tmp_path / "dirty.xmi"
+        path.write_text(write_xml(model))
+        assert main(["check", str(path)]) == 1
+        assert "pollution" in capsys.readouterr().out
+
+
+class TestTransformGenerate:
+    def test_transform_then_generate(self, model_file, tmp_path, capsys):
+        psm_path = str(tmp_path / "psm.xmi")
+        assert main(["transform", model_file, "--platform", "posix",
+                     "-o", psm_path]) == 0
+        assert os.path.exists(psm_path)
+        out_dir = str(tmp_path / "gen")
+        assert main(["generate", psm_path, "--lang", "c",
+                     "-o", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "lines of c" in out
+        generated = os.listdir(out_dir)
+        assert any(name.endswith(".c") for name in generated)
+        text = open(os.path.join(out_dir, generated[0])).read()
+        assert "CruiseController" in text
+
+    def test_generate_java(self, model_file, tmp_path):
+        psm_path = str(tmp_path / "psm.json")       # json output too
+        assert main(["transform", model_file, "--platform", "baremetal",
+                     "-o", psm_path]) == 0
+        out_dir = str(tmp_path / "gen")
+        assert main(["generate", psm_path, "--lang", "java",
+                     "-o", out_dir]) == 0
+        assert any(name.endswith(".java") for name in os.listdir(out_dir))
+
+
+class TestSchedule:
+    def test_schedulable(self, scheduled_model_file, capsys):
+        assert main(["schedule", scheduled_model_file]) == 0
+        assert "SCHEDULABLE" in capsys.readouterr().out
+
+    def test_no_annotations(self, model_file, capsys):
+        assert main(["schedule", model_file]) == 2
+
+
+class TestDiffConvert:
+    def test_diff_identical(self, model_file, tmp_path, capsys):
+        copy_path = str(tmp_path / "copy.xmi")
+        assert main(["convert", model_file, "-o", copy_path]) == 0
+        assert main(["diff", model_file, copy_path]) == 0
+        assert "+0 -0 ~0" in capsys.readouterr().out
+
+    def test_diff_changed(self, model_file, tmp_path, capsys):
+        changed = open(model_file).read().replace(
+            'name="SpeedSensor"', 'name="WheelSensor"')
+        changed_path = tmp_path / "changed.xmi"
+        changed_path.write_text(changed)
+        assert main(["diff", model_file, str(changed_path)]) == 1
+        out = capsys.readouterr().out
+        assert "WheelSensor" in out or "SpeedSensor" in out
+
+    def test_convert_roundtrip(self, model_file, tmp_path):
+        json_path = str(tmp_path / "m.json")
+        back_path = str(tmp_path / "back.xmi")
+        assert main(["convert", model_file, "-o", json_path]) == 0
+        assert main(["convert", json_path, "-o", back_path]) == 0
+        assert main(["diff", model_file, back_path]) == 0
+
+
+class TestReportFootprint:
+    def test_report_command(self, model_file, capsys):
+        code = main(["report", model_file, "--platform", "posix"])
+        out = capsys.readouterr().out
+        assert "model quality report" in out
+        assert "domain purity" in out
+        assert code in (0, 1)
+
+    def test_footprint_command(self, model_file, tmp_path, capsys):
+        psm_path = str(tmp_path / "psm.xmi")
+        assert main(["transform", model_file, "--platform", "baremetal",
+                     "-o", psm_path]) == 0
+        assert main(["footprint", psm_path,
+                     "--platform", "baremetal"]) == 0
+        out = capsys.readouterr().out
+        assert "footprint:" in out and "FITS" in out
+        assert "CruiseController" in out
+
+
+class TestDiagram:
+    def test_class_diagram(self, model_file, capsys):
+        assert main(["diagram", model_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph") and "CruiseController" in out
+
+    def test_statemachine_diagram(self, model_file, capsys):
+        assert main(["diagram", model_file, "--kind", "statemachine",
+                     "--name", "CruiseSM"]) == 0
+        out = capsys.readouterr().out
+        assert "engage" in out
+
+    def test_unknown_machine_name(self, model_file):
+        assert main(["diagram", model_file, "--kind", "statemachine",
+                     "--name", "Nope"]) == 1
+
+
+class TestTestgen:
+    def test_generates_for_all_machines(self, model_file, capsys):
+        assert main(["testgen", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "CruiseController" in out and "100%" in out
+
+    def test_class_filter(self, model_file, capsys):
+        assert main(["testgen", model_file,
+                     "--class", "ThrottleActuator"]) == 0
+        out = capsys.readouterr().out
+        assert "ThrottleActuator" in out
+        assert "CruiseController" not in out
+
+    def test_no_match(self, model_file):
+        assert main(["testgen", model_file, "--class", "Nope"]) == 1

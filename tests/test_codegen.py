@@ -1,0 +1,163 @@
+"""Tests for the model compiler: action parsing, PSM→IR lowering, and
+the three syntactic printers."""
+
+import pytest
+
+from repro.codegen import (
+    AssignStmt,
+    CallStmt,
+    CommentStmt,
+    SendStmt,
+    generate_c,
+    generate_java,
+    generate_systemc,
+    lower_model,
+    parse_actions,
+    parse_statement,
+    to_c_expr,
+    to_java_expr,
+)
+from repro.codegen.actions import qualify_identifiers
+from repro.platforms import PIM_TO_PSM
+
+
+class TestActionParsing:
+    def test_assignment(self):
+        stmt = parse_statement("x := y + 1")
+        assert isinstance(stmt, AssignStmt)
+        assert stmt.lhs == "x" and stmt.rhs == "y + 1"
+
+    def test_send(self):
+        stmt = parse_statement("send peer.ping(1, 2)")
+        assert isinstance(stmt, SendStmt)
+        assert stmt.target == "peer" and stmt.event == "ping"
+        assert stmt.arguments == ("1", "2")
+
+    def test_send_no_args(self):
+        stmt = parse_statement("send lower.tx_request()")
+        assert isinstance(stmt, SendStmt) and stmt.arguments == ()
+
+    def test_call_with_receiver(self):
+        stmt = parse_statement("engine.start(5)")
+        assert isinstance(stmt, CallStmt)
+        assert stmt.receiver == "engine" and stmt.operation == "start"
+
+    def test_bare_call(self):
+        stmt = parse_statement("log()")
+        assert isinstance(stmt, CallStmt) and stmt.receiver == ""
+
+    def test_unparsable_becomes_comment(self):
+        stmt = parse_statement("??!")
+        assert isinstance(stmt, CommentStmt)
+
+    def test_program_split_on_semicolons(self):
+        stmts = parse_actions("a := 1; send p.e(); log()")
+        assert [type(s).__name__ for s in stmts] == [
+            "AssignStmt", "SendStmt", "CallStmt"]
+        assert parse_actions("") == []
+        assert parse_actions("  ;  ") == []
+
+    def test_nested_commas_in_args(self):
+        stmt = parse_statement("f(g(1, 2), 3)")
+        assert stmt.arguments == ("g(1, 2)", "3")
+
+    def test_expression_spellings(self):
+        assert to_c_expr("a = 1 and not b") == "a == 1 && ! b"
+        assert to_c_expr("x <> y or true") == "x != y || 1"
+        assert to_java_expr("a = 1 and true") == "a == 1 && true"
+        assert to_c_expr("a >= 2") == "a >= 2"          # untouched
+        assert to_c_expr("x := 1") == "x := 1"          # := not equality
+
+    def test_qualify_identifiers(self):
+        out = qualify_identifiers("speed := speed + delta",
+                                  {"speed"})
+        assert out == "self.speed := self.speed + delta"
+        # already-qualified and call names untouched
+        assert qualify_identifiers("self.speed + speed()",
+                                   {"speed"}) == "self.speed + speed()"
+
+
+@pytest.fixture
+def code(cruise_model, posix):
+    psm = PIM_TO_PSM.run(cruise_model.model, posix).primary_root
+    return lower_model(psm)
+
+
+class TestLowering:
+    def test_units_and_structs(self, code):
+        stats = code.stats()
+        assert stats["units"] >= 1
+        struct_names = {s.name for s in code.all_structs()}
+        assert {"CruiseController", "SpeedSensor", "ThrottleActuator",
+                "CruiseController_thread"} <= struct_names
+
+    def test_struct_fields_use_platform_types(self, code):
+        controller = [s for s in code.all_structs()
+                      if s.name == "CruiseController"][0]
+        types = {f.name: f.type_name for f in controller.fields}
+        assert types["target"] == "int32_t"
+        assert types["enabled"] == "bool"
+        assert types["state"] == "CruiseController_state"
+
+    def test_dispatch_function_generated(self, code):
+        names = {f.name for f in code.all_functions()}
+        assert "CruiseController_dispatch" in names
+        assert "CruiseController_enter_initial" in names
+        assert "CruiseController_init" in names
+
+    def test_enums_generated(self, code):
+        unit = code.units[0]
+        enum_names = {e.name for e in unit.enums}
+        assert "CruiseController_state" in enum_names
+        assert "CruiseController_event" in enum_names
+        state_enum = [e for e in unit.enums
+                      if e.name == "CruiseController_state"][0]
+        assert "CRUISECONTROLLER_STATE_OFF" in state_enum.literals
+
+
+class TestPrinters:
+    def test_c_output_compilable_shape(self, code):
+        files = generate_c(code)
+        text = "\n".join(files.values())
+        assert "typedef struct {" in text
+        assert "switch (self->state) {" in text
+        assert "case CRUISECONTROLLER_STATE_OFF: {" in text
+        assert "event == CRUISECONTROLLER_EVENT_ENGAGE" in text
+        assert text.count("{") == text.count("}")
+
+    def test_c_qualifies_self(self, code):
+        text = "\n".join(generate_c(code).values())
+        assert "self->enabled = 1" in text       # true -> 1, self. -> self->
+
+    def test_java_output(self, code):
+        files = generate_java(code)
+        assert "CruiseController.java" in files
+        java = files["CruiseController.java"]
+        assert "public class CruiseController {" in java
+        assert "private int target;" in java     # int32_t -> int
+        assert "public void dispatch(" in java
+        assert java.count("{") == java.count("}")
+
+    def test_systemc_output(self, code):
+        files = generate_systemc(code)
+        text = "\n".join(files.values())
+        assert "SC_MODULE(CruiseController)" in text
+        assert "SC_CTOR(CruiseController)" in text
+        assert "sc_fifo_in<int> events;" in text
+
+    def test_all_printers_share_ir(self, code):
+        """The semantic/syntactic split: three outputs, one IR."""
+        c = generate_c(code)
+        java = generate_java(code)
+        systemc = generate_systemc(code)
+        assert c and java and systemc
+        # every struct appears in every target
+        for struct in code.all_structs():
+            assert any(struct.name in text for text in c.values())
+            assert any(struct.name in text for text in java.values())
+            assert any(struct.name in text for text in systemc.values())
+
+    def test_generated_c_line_count_scales(self, code):
+        total_lines = sum(text.count("\n")
+                          for text in generate_c(code).values())
+        assert total_lines > 80

@@ -1,0 +1,106 @@
+"""Tests for activity → IR lowering, checked against the interpreter."""
+
+import pytest
+
+from repro.codegen import (
+    ActivityLoweringError,
+    CPrinter,
+    CompilationUnit,
+    lower_activity,
+)
+from repro.uml import Activity
+from repro.validation import run_activity
+
+
+def linear():
+    activity = Activity(name="calibrate")
+    start = activity.add_initial()
+    a = activity.add_action("a", body="x := x + 1")
+    b = activity.add_action("b", body="x := x * 2")
+    end = activity.add_final()
+    activity.flow(start, a)
+    activity.flow(a, b)
+    activity.flow(b, end)
+    return activity
+
+
+def decided():
+    activity = Activity(name="route")
+    start = activity.add_initial()
+    decision = activity.add_decision()
+    hot = activity.add_action("hot", body="y := 1")
+    cold = activity.add_action("cold", body="y := 2")
+    merge = activity.add_merge()
+    after = activity.add_action("after", body="z := y + 10")
+    end = activity.add_final()
+    activity.flow(start, decision)
+    activity.flow(decision, hot, guard="x > 10")
+    activity.flow(decision, cold, guard="else")
+    activity.flow(hot, merge)
+    activity.flow(cold, merge)
+    activity.flow(merge, after)
+    activity.flow(after, end)
+    return activity
+
+
+def render(function):
+    unit = CompilationUnit(name="u", functions=[function])
+    return CPrinter().print_unit(unit)
+
+
+class TestLowering:
+    def test_linear_statements_in_order(self):
+        function = lower_activity(linear(), field_names={"x"})
+        text = render(function)
+        assert "self->x = self->x + 1;" in text
+        assert "self->x = self->x * 2;" in text
+        assert text.index("+ 1") < text.index("* 2")
+        assert "return;" in text
+
+    def test_decision_becomes_if_else(self):
+        function = lower_activity(decided())
+        text = render(function)
+        assert "if (x > 10) {" in text
+        assert "else {" in text
+        assert "y = 2;" in text
+        # post-merge code appears exactly once (after the if/else)
+        assert text.count("z = y + 10;") == 1
+
+    def test_fork_join_rejected(self):
+        activity = Activity(name="par")
+        start = activity.add_initial()
+        fork = activity.add_fork()
+        activity.flow(start, fork)
+        with pytest.raises(ActivityLoweringError):
+            lower_activity(activity)
+
+    def test_cycle_rejected(self):
+        activity = Activity(name="loop")
+        start = activity.add_initial()
+        a = activity.add_action("a")
+        b = activity.add_action("b")
+        activity.flow(start, a)
+        activity.flow(a, b)
+        activity.flow(b, a)             # cycle
+        with pytest.raises(ActivityLoweringError):
+            lower_activity(activity)
+
+    def test_missing_initial_rejected(self):
+        activity = Activity(name="empty")
+        with pytest.raises(ActivityLoweringError):
+            lower_activity(activity)
+
+
+class TestSemanticsAgreement:
+    """The compiled control flow and the token interpreter agree."""
+
+    @pytest.mark.parametrize("x,expected_y", [(50, 1), (1, 2)])
+    def test_decision_agrees_with_interpreter(self, x, expected_y):
+        run = run_activity(decided(), {"x": x, "y": 0, "z": 0})
+        assert run.variables["y"] == expected_y
+        assert run.variables["z"] == expected_y + 10
+        # and the generated code takes the same branch textually
+        function = lower_activity(decided())
+        text = render(function)
+        then_branch = text.split("if (x > 10) {")[1].split("else {")[0]
+        assert "y = 1;" in then_branch

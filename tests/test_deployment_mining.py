@@ -1,0 +1,118 @@
+"""Tests for deployment allocation and interaction mining."""
+
+import pytest
+
+from repro.mof import validate_tree
+from repro.platforms import PIM_TO_PSM, allocate, deployment_fits
+from repro.uml import (
+    Artifact,
+    Component,
+    Connector,
+    Deployment,
+    ExecutionNode,
+    Interface,
+    UseCase,
+    check_model,
+)
+from repro.validation import (
+    Scenario,
+    interaction_from_trace,
+    promote_to_regression,
+    scenario_from_interaction,
+)
+
+
+@pytest.fixture
+def psm(cruise_model, posix):
+    return PIM_TO_PSM.run(cruise_model.model, posix).primary_root
+
+
+class TestAllocation:
+    def test_components_per_active_class(self, psm, posix):
+        deployment = allocate(psm, posix)
+        component_names = {c.name for c in deployment.packaged_elements
+                           if isinstance(c, Component)}
+        assert {"CruiseControllerComponent", "SpeedSensorComponent",
+                "ThrottleActuatorComponent"} <= component_names
+
+    def test_channels_become_wired_ports(self, psm, posix):
+        deployment = allocate(psm, posix)
+        connectors = [c for c in deployment.packaged_elements
+                      if isinstance(c, Connector)]
+        assert {c.name for c in connectors} == {"measures_queue",
+                                                "drives_queue"}
+        for connector in connectors:
+            ports = connector.ports()
+            assert len(ports) == 2
+            # one required, one provided, same interface
+            required = ports[0].required[0]
+            provided = ports[1].provided[0]
+            assert required is provided
+            assert isinstance(required, Interface)
+            assert {op.name for op in required.all_operations()} == \
+                {"send", "receive"}
+
+    def test_artifacts_deployed_on_node(self, psm, posix):
+        deployment = allocate(psm, posix)
+        nodes = [n for n in deployment.packaged_elements
+                 if isinstance(n, ExecutionNode)]
+        assert len(nodes) == 1
+        node = nodes[0]
+        assert node.is_real_time
+        assert node.memory_kb == 262144
+        artifacts = [a for a in deployment.packaged_elements
+                     if isinstance(a, Artifact)]
+        assert len(artifacts) == 3
+        assert all(a in node.deployed_artifacts for a in artifacts)
+        deployments = [d for d in deployment.packaged_elements
+                       if isinstance(d, Deployment)]
+        assert len(deployments) == 3
+
+    def test_deployment_model_is_valid(self, psm, posix):
+        deployment = allocate(psm, posix)
+        assert validate_tree(deployment).ok
+
+    def test_fits_check(self, psm, posix):
+        assert deployment_fits(psm, posix)
+        assert not deployment_fits(
+            psm, posix,
+            instances={"CruiseController_thread": 10_000_000})
+
+
+class TestInteractionMining:
+    def test_mined_interaction_is_wellformed(self, cruise_collaboration,
+                                             cruise_model):
+        collab = cruise_collaboration()
+        collab.start()
+        collab.send("ctl", "engage")
+        collab.run()
+        interaction = interaction_from_trace(collab)
+        cruise_model.model.add(interaction)
+        assert not interaction.floating_lifelines()
+        report = check_model(cruise_model.model)
+        assert report.ok, str(report)
+        assert interaction.message_names() == ["apply"]
+        assert interaction.lifeline("ctl").represents.name == \
+            "CruiseController"
+
+    def test_mined_scenario_replays(self, cruise_collaboration):
+        collab = cruise_collaboration()
+        collab.start()
+        collab.send("ctl", "engage")
+        collab.send("ctl", "tick")
+        collab.run()
+        interaction = interaction_from_trace(collab)
+        scenario = scenario_from_interaction(interaction)
+        scenario.stimuli = [("ctl", "engage"), ("ctl", "tick")]
+        result = scenario.run(cruise_collaboration())
+        assert result.passed, result.explain()
+
+    def test_promote_to_regression(self, cruise_collaboration):
+        usecase = UseCase(name="Engage")
+        collab = cruise_collaboration()
+        collab.start()
+        collab.send("ctl", "engage")
+        collab.run()
+        interaction = promote_to_regression(usecase, collab)
+        assert usecase.is_testable()
+        assert interaction in usecase.scenarios

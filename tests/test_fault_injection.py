@@ -1,0 +1,119 @@
+"""Fault injection: deliberately broken models and configurations must be
+*caught by some layer of the test stack* — never silently accepted.
+
+Each injection targets one layer the paper says must exist (structure,
+well-formedness, scenarios, model checking, refinement), and the test
+asserts that exactly that safety net fires.
+"""
+
+import pytest
+
+from repro.mof import validate_tree
+from repro.platforms import PIM_TO_PSM
+from repro.transform import check_refinement
+from repro.uml import Clazz, check_model
+from repro.validation import Scenario, check_collaboration
+
+ENGAGE_SCENARIO = Scenario(
+    "engage", [("ctl", "act", "apply")], stimuli=[("ctl", "engage")])
+
+
+class TestBehaviouralFaults:
+    def test_dropped_link_caught_by_scenario(self, cruise_collaboration):
+        collab = cruise_collaboration()
+        del collab.objects["ctl"].links["actuator"]
+        result = ENGAGE_SCENARIO.run(collab)
+        assert not result.passed
+        lost = [e for e in collab.trace if e.kind == "send-lost"]
+        assert lost
+
+    def test_removed_transition_caught_by_scenario(self, cruise_model,
+                                                   cruise_collaboration):
+        controller = cruise_model.model.member("CruiseController")
+        machine = controller.state_machine()
+        engage = [t for t in machine.all_transitions()
+                  if t.trigger == "engage"][0]
+        engage.delete()
+        result = ENGAGE_SCENARIO.run(cruise_collaboration())
+        assert not result.passed
+
+    def test_forgotten_release_caught_by_model_checker(
+            self, cruise_model, cruise_collaboration):
+        controller = cruise_model.model.member("CruiseController")
+        machine = controller.state_machine()
+        disengage = [t for t in machine.all_transitions()
+                     if t.trigger == "disengage"][0]
+        disengage.effect = "enabled := false"   # fault: throttle left on
+        collab = cruise_collaboration()
+        result = check_collaboration(
+            collab, [("ctl", "engage"), ("ctl", "disengage")],
+            invariants={
+                "no-throttle-while-disengaged":
+                    lambda c: not (c.attribute("ctl", "enabled") is False
+                                   and c.attribute("act", "level") > 0)})
+        assert not result.ok
+        violation = result.violations[0]
+        assert violation.kind == "invariant"
+        assert violation.trace            # counterexample provided
+
+    def test_corrupted_effect_caught_at_dispatch(self, cruise_model,
+                                                 cruise_collaboration):
+        from repro.validation import SimulationError
+        controller = cruise_model.model.member("CruiseController")
+        machine = controller.state_machine()
+        engage = [t for t in machine.all_transitions()
+                  if t.trigger == "engage"][0]
+        engage.effect = "enabled := undefined_name + 1"
+        collab = cruise_collaboration()
+        collab.start()
+        collab.send("ctl", "engage")
+        with pytest.raises(SimulationError):
+            collab.run()
+
+
+class TestStructuralFaults:
+    def test_broken_opposite_caught_by_validator(self, cruise_model):
+        controller = cruise_model.model.member("CruiseController")
+        prop = controller.attribute("actuator")
+        # sabotage the inverse pairing behind the kernel's back
+        prop._slots["association"] = None
+        report = validate_tree(cruise_model.model)
+        assert not report.ok
+        assert any(d.code == "opposite" for d in report.errors)
+
+    def test_dangling_transition_caught_by_wellformedness(self,
+                                                          cruise_model):
+        controller = cruise_model.model.member("CruiseController")
+        machine = controller.state_machine()
+        transition = machine.all_transitions()[1]
+        transition.source = None
+        report = check_model(cruise_model.model)
+        assert any(d.code == "uml-sm-dangling" for d in report.errors)
+
+    def test_lost_class_caught_by_refinement(self, cruise_model, posix):
+        result = PIM_TO_PSM.run(cruise_model.model, posix)
+        # fault: drop one trace link as if a rule had forgotten a class
+        sensor = cruise_model.model.member("SpeedSensor")
+        result.trace._by_source.pop(id(sensor))
+        report = check_refinement(cruise_model.model, result,
+                                  required_types=[Clazz])
+        assert not report.ok
+        assert any(d.code == "refine-incomplete" for d in report.errors)
+
+
+class TestEverySafetyNetIsIndependent:
+    def test_faults_invisible_to_other_layers(self, cruise_model,
+                                              cruise_collaboration):
+        """A behavioural fault passes the structural layers (and vice
+        versa) — the paper's point that each kind of model test is
+        necessary."""
+        controller = cruise_model.model.member("CruiseController")
+        machine = controller.state_machine()
+        engage = [t for t in machine.all_transitions()
+                  if t.trigger == "engage"][0]
+        engage.delete()          # behavioural fault
+        # structure and well-formedness cannot see it
+        assert validate_tree(cruise_model.model).ok
+        assert check_model(cruise_model.model).ok
+        # only the scenario does
+        assert not ENGAGE_SCENARIO.run(cruise_collaboration()).passed

@@ -1,0 +1,134 @@
+"""Property test: flattening preserves behaviour.
+
+For randomly generated hierarchical state machines and random event
+sequences, simulating the *hierarchical* machine (which the interpreter
+flattens internally) and simulating a *pre-flattened* copy must produce
+identical attribute values and equivalent states — i.e.
+``flatten_state_machine`` is semantics-preserving.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.transform import flatten_state_machine
+from repro.uml import ModelFactory, StateMachine
+from repro.validation import Event, ObjectInstance, StateMachineInterpreter
+
+EVENTS = ["go", "stop", "toggle"]
+
+
+@st.composite
+def hierarchical_machines(draw):
+    """A two-level machine: top states, one of which is composite with
+    two inner states; random guarded transitions with counter effects."""
+    machine = StateMachine(name="H")
+    region = machine.main_region()
+    initial = region.add_initial()
+    plain = region.add_state(
+        "Plain", entry=draw(st.sampled_from(["", "a := a + 1"])))
+    composite = region.add_state(
+        "Comp",
+        entry=draw(st.sampled_from(["", "b := b + 1"])),
+        exit=draw(st.sampled_from(["", "b := b + 10"])))
+    inner = composite.add_region("inner")
+    inner_initial = inner.add_initial()
+    low = inner.add_state("Low", entry=draw(
+        st.sampled_from(["", "c := c + 1"])))
+    high = inner.add_state("High")
+    inner.add_transition(inner_initial, low)
+    inner.add_transition(low, high, trigger="toggle",
+                         effect=draw(st.sampled_from(
+                             ["", "a := a + 2"])))
+    inner.add_transition(high, low, trigger="toggle")
+    region.add_transition(initial, plain)
+    region.add_transition(
+        plain, composite, trigger="go",
+        guard=draw(st.sampled_from(["", "a < 5"])),
+        effect=draw(st.sampled_from(["", "a := a + 1"])))
+    region.add_transition(composite, plain, trigger="stop",
+                          effect=draw(st.sampled_from(["", "c := 0"])))
+    return machine
+
+
+def make_class():
+    factory = ModelFactory("eq")
+    return factory.clazz("Ctx", attrs={"a": "Integer", "b": "Integer",
+                                       "c": "Integer"})
+
+
+def run_machine(machine, events):
+    cls = make_class()
+    instance = ObjectInstance("x", cls)
+    interpreter = StateMachineInterpreter(instance, machine)
+    interpreter.start()
+    for event_name in events:
+        interpreter.dispatch(Event(event_name))
+    return instance
+
+
+@settings(max_examples=60, deadline=None)
+@given(hierarchical_machines(),
+       st.lists(st.sampled_from(EVENTS), max_size=10))
+def test_flattening_preserves_behaviour(machine, events):
+    hierarchical_result = run_machine(machine, events)
+    flat_result = run_machine(flatten_state_machine(machine), events)
+    assert hierarchical_result.attributes == flat_result.attributes
+    assert hierarchical_result.state_name == flat_result.state_name
+    assert hierarchical_result.completed == flat_result.completed
+
+
+@settings(max_examples=40, deadline=None)
+@given(hierarchical_machines())
+def test_flattening_is_idempotent_on_flat_machines(machine):
+    once = flatten_state_machine(machine)
+    twice = flatten_state_machine(once)
+    names_once = sorted(s.name for s in once.main_region().states())
+    names_twice = sorted(s.name for s in twice.main_region().states())
+    assert names_once == names_twice
+    assert once.events() == twice.events()
+
+
+@settings(max_examples=30, deadline=None)
+@given(hierarchical_machines())
+def test_generated_tests_always_pass_on_their_own_model(machine):
+    """Oracle consistency: tests derived FROM a machine always pass ON
+    that machine (for arbitrary generated machines)."""
+    from repro.validation import (generate_transition_tests,
+                                  run_generated_tests)
+    cls = make_class()
+    cls.owned_behaviors.append(machine)
+    cls.classifier_behavior = machine
+    result = generate_transition_tests(cls, max_depth=8)
+    outcomes = run_generated_tests(cls, result)
+    assert outcomes, "expected at least one generated test"
+    assert all(passed for _test, passed in outcomes)
+
+
+@settings(max_examples=30, deadline=None)
+@given(hierarchical_machines(),
+       st.lists(st.sampled_from(EVENTS), max_size=8))
+def test_simulator_outcome_is_checker_reachable(machine, events):
+    """Every state the deterministic simulator reaches must be reachable
+    for the model checker exploring the same stimuli."""
+    from repro.validation import Collaboration, ModelChecker
+    cls = make_class()
+    cls.owned_behaviors.append(machine)
+    cls.classifier_behavior = machine
+
+    def build():
+        collab = Collaboration("one")
+        collab.create_object("x", cls)
+        return collab
+
+    simulated = build()
+    simulated.start()
+    for event_name in events:
+        simulated.send("x", event_name)
+    simulated.run()
+    final = simulated.objects["x"].snapshot()
+
+    checker = ModelChecker(build(), max_states=20_000,
+                           queue_bound=max(len(events), 4))
+    checker.goal("same-final",
+                 lambda c: c.objects["x"].snapshot() == final)
+    result = checker.check([("x", e) for e in events])
+    assert result.goals_reached["same-final"] is True

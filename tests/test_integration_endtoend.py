@@ -1,0 +1,141 @@
+"""End-to-end integration: the full MDA pipeline the paper describes.
+
+PIM (tested, pure) → gated semantic transformation with a platform
+parameter → PSM (grounded, refined) → IR → C/Java/SystemC text — with
+use-case scenarios validated by simulation at the PIM level and the PSM
+checked against the PIM via the trace.
+"""
+
+import pytest
+
+from repro.codegen import generate_c, generate_java, generate_systemc, \
+    lower_model
+from repro.method import (
+    DevelopmentProcess,
+    ModelTestSuite,
+    check_domain_purity,
+    platform_content_ratio,
+)
+from repro.mof import Model, validate_tree
+from repro.platforms import make_pim_to_psm
+from repro.profiles import SA_SCHEDULABLE, TestContext, Verdict, \
+    analyze_model
+from repro.transform import check_refinement
+from repro.uml import Clazz, UML, check_model
+from repro.validation import Scenario, check_collaboration
+from repro.xmi import read_xml, write_xml
+
+
+def test_full_pipeline(cruise_model, cruise_collaboration, posix):
+    model = cruise_model.model
+
+    # 1. PIM-level tests: structure, well-formedness, purity
+    assert validate_tree(model).ok
+    assert check_model(model).ok
+    assert check_domain_purity(model, [posix]).clean
+
+    # 2. Use cases as tests: scenario conformance via simulation
+    scenario = Scenario("engage", [("ctl", "act", "apply")],
+                        stimuli=[("ctl", "engage")])
+    assert scenario.run(cruise_collaboration()).passed
+
+    # 3. Verification: model checking the collaboration
+    mc = check_collaboration(
+        cruise_collaboration(), [("ctl", "engage")],
+        invariants={"level-bounded":
+                    lambda c: c.attribute("act", "level") <= 1})
+    assert mc.ok
+
+    # 4. Schedulability via the SPT profile
+    for name, period, wcet in (("SpeedSensor", 10.0, 1.0),
+                               ("CruiseController", 20.0, 4.0),
+                               ("ThrottleActuator", 20.0, 2.0)):
+        SA_SCHEDULABLE.apply(model.member(name), sa_period_ms=period,
+                             sa_wcet_ms=wcet)
+    assert analyze_model(model).schedulable
+
+    # 5. Gated process down to the PSM
+    suite = ModelTestSuite("pim").add_structural().add_wellformedness()
+    process = DevelopmentProcess("cruise-dev")
+    process.add_phase("pim", suite=suite,
+                      transformation=make_pim_to_psm(posix),
+                      platform=posix)
+    run = process.run(model)
+    assert run.completed
+    psm = run.final_roots[0]
+
+    # 6. PSM is grounded in the platform and refines the PIM
+    assert platform_content_ratio(psm, posix) > 0.1
+    refinement = check_refinement(
+        model, run.record("pim").result, required_types=[Clazz])
+    assert refinement.ok, str(refinement)
+
+    # 7. Model compilation: one IR, three languages
+    code = lower_model(psm)
+    c_files = generate_c(code)
+    java_files = generate_java(code)
+    systemc_files = generate_systemc(code)
+    assert any("CruiseController_dispatch" in text
+               for text in c_files.values())
+    assert "CruiseController.java" in java_files
+    assert any("SC_MODULE" in text for text in systemc_files.values())
+
+    # 8. Interchange: both models round-trip (PIM carries SPT stereotypes)
+    from repro.profiles import SPT
+    for root, uri in ((model, "urn:pim"), (psm, "urn:psm")):
+        wrapper = Model(uri)
+        wrapper.add_root(root)
+        text = write_xml(wrapper)
+        loaded = read_xml(text, [UML], profiles=[SPT])
+        assert write_xml(loaded) == text
+
+
+def test_pipeline_rejects_defective_pim(posix):
+    """A PIM whose interactions reference phantom objects (the paper's
+    use-case anti-pattern) must not reach the PSM."""
+    from repro.uml import Interaction, ModelFactory
+    factory = ModelFactory("bad")
+    factory.clazz("Real")
+    interaction = Interaction(name="ix")
+    factory.model.add(interaction)
+    interaction.add_lifeline("phantom")      # no classifier behind it
+
+    suite = ModelTestSuite("pim").add_wellformedness()
+    process = DevelopmentProcess("dev")
+    process.add_phase("pim", suite=suite,
+                      transformation=make_pim_to_psm(posix),
+                      platform=posix)
+    run = process.run(factory.model)
+    assert not run.completed
+    assert run.stopped_at == "pim"
+
+
+def test_two_platform_retargeting(cruise_model, posix, baremetal):
+    """One PIM, two PSMs, two code bases — the MDA promise."""
+    outputs = {}
+    for platform in (posix, baremetal):
+        psm = make_pim_to_psm(platform).run(
+            cruise_model.model, platform=platform).primary_root
+        code = lower_model(psm)
+        outputs[platform.name] = "".join(generate_c(code).values())
+    assert "int32_t target" in outputs["posix_rtos"]
+    assert "int16_t target" in outputs["baremetal_hw"]
+    # behaviour-bearing dispatch exists on both targets
+    for text in outputs.values():
+        assert "CruiseController_dispatch" in text
+
+
+def test_uml_testing_profile_over_pipeline(cruise_collaboration):
+    context = TestContext("CruiseAcceptance", cruise_collaboration)
+    context.add_scenario(
+        "engage-then-tick",
+        Scenario("s1", [("ctl", "act", "apply"), ("ctl", "act", "apply")],
+                 stimuli=[("ctl", "engage"), ("ctl", "tick")]),
+        post_condition=lambda c: c.attribute("act", "level") == 2)
+    context.add_scenario(
+        "disengage-releases",
+        Scenario("s2", [("ctl", "act", "release")],
+                 stimuli=[("ctl", "engage"), ("ctl", "disengage")]),
+        post_condition=lambda c: c.attribute("act", "level") == 0)
+    report = context.run_all()
+    assert report.verdict is Verdict.PASS, report.summary()

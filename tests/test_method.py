@@ -1,0 +1,223 @@
+"""Tests for methodology support: abstraction levels, pollution checking,
+test suites, gated processes."""
+
+import pytest
+
+from repro.method import (
+    DevelopmentProcess,
+    ModelStack,
+    ModelTestSuite,
+    abstraction_delta,
+    check_domain_purity,
+    check_psm_grounding,
+    platform_content_ratio,
+    platform_vocabulary,
+)
+from repro.ocl import ConstraintSet
+from repro.platforms import PIM_TO_PSM, make_pim_to_psm
+from repro.transform import clone_transformation
+from repro.uml import Clazz, ModelFactory, UmlElement
+
+
+class TestAbstraction:
+    def test_stack_levels_ordered(self):
+        stack = ModelStack("s")
+        pim = stack.add_level("PIM")
+        psm = stack.add_level("PSM")
+        assert pim.index == 0 and psm.index == 1
+        assert stack.distance(pim, psm) == 1
+        assert stack.is_platform_independent_wrt(pim, psm)
+        assert not stack.is_platform_independent_wrt(psm, pim)
+
+    def test_refine_places_result_below(self, cruise_model, posix):
+        stack = ModelStack("s")
+        pim = stack.add_level("PIM")
+        psm = stack.add_level("PSM")
+        stack.place(pim, cruise_model.model)
+        result = stack.refine(pim, make_pim_to_psm(posix), platform=posix)
+        assert stack.slot(psm).roots == result.target_roots
+        assert stack.slot(psm).produced_by is result
+
+    def test_refine_needs_lower_level(self, cruise_model, posix):
+        stack = ModelStack("s")
+        pim = stack.add_level("PIM")
+        stack.place(pim, cruise_model.model)
+        with pytest.raises(IndexError):
+            stack.refine(pim, make_pim_to_psm(posix), platform=posix)
+
+    def test_refine_needs_model(self, posix):
+        stack = ModelStack("s")
+        pim = stack.add_level("PIM")
+        stack.add_level("PSM")
+        with pytest.raises(ValueError):
+            stack.refine(pim, make_pim_to_psm(posix), platform=posix)
+
+    def test_platform_vocabulary(self, posix):
+        vocabulary = platform_vocabulary(posix)
+        assert "int32_t" in vocabulary
+        assert "mqueue" in vocabulary
+        assert "thread" in vocabulary
+
+    def test_platform_content_ratio_distinguishes(self, cruise_model,
+                                                  posix):
+        pim_ratio = platform_content_ratio(cruise_model.model, posix)
+        psm = PIM_TO_PSM.run(cruise_model.model, posix).primary_root
+        psm_ratio = platform_content_ratio(psm, posix)
+        assert pim_ratio == 0.0
+        assert psm_ratio > 0.1
+
+    def test_abstraction_delta_semantic_vs_syntactic(self, cruise_model,
+                                                     posix):
+        semantic = PIM_TO_PSM.run(cruise_model.model, posix).primary_root
+        syntactic = clone_transformation(UmlElement).run(
+            cruise_model.model).primary_root
+        assert abstraction_delta(cruise_model.model, semantic, posix) > 0
+        assert abstraction_delta(cruise_model.model, syntactic,
+                                 posix) == 0.0
+
+
+class TestPollution:
+    def test_clean_pim(self, cruise_model, posix):
+        report = check_domain_purity(cruise_model.model, [posix])
+        assert report.clean
+        assert report.pollution_ratio == 0.0
+
+    def test_platform_type_leak_detected(self, posix):
+        factory = ModelFactory("dirty")
+        cls = factory.clazz("Order")
+        native = factory.clazz("int32_t")    # platform type as a class!
+        factory.attribute(cls, "total", native)
+        report = check_domain_purity(factory.model, [posix])
+        assert not report.clean
+        reasons = {f.reason for f in report.findings}
+        assert "platform word in name" in reasons
+        assert "platform-native type" in reasons
+
+    def test_suffix_heuristics(self):
+        factory = ModelFactory("dirty")
+        factory.clazz("Worker_thread")
+        factory.clazz("Event_queue")
+        report = check_domain_purity(factory.model)
+        assert len(report.polluted_elements()) == 2
+
+    def test_heuristics_can_be_disabled(self):
+        factory = ModelFactory("dirty")
+        factory.clazz("Worker_thread")
+        report = check_domain_purity(factory.model,
+                                     use_generic_heuristics=False)
+        assert report.clean
+
+    def test_extra_vocabulary(self):
+        factory = ModelFactory("dirty")
+        factory.clazz("CorbaOrb")
+        report = check_domain_purity(factory.model,
+                                     extra_vocabulary=["CorbaOrb"])
+        assert not report.clean
+
+    def test_as_validation_report(self):
+        factory = ModelFactory("dirty")
+        factory.clazz("Worker_thread")
+        report = check_domain_purity(factory.model).as_validation_report()
+        assert not report.ok
+
+    def test_psm_grounding_check(self, cruise_model, posix):
+        psm = PIM_TO_PSM.run(cruise_model.model, posix).primary_root
+        assert check_psm_grounding(psm, posix).ok
+        # a clone of the PIM is NOT grounded in the platform
+        fake_psm = clone_transformation(UmlElement).run(
+            cruise_model.model).primary_root
+        report = check_psm_grounding(fake_psm, posix)
+        assert report.warnings
+
+
+class TestSuites:
+    def test_structural_and_wellformedness(self, cruise_model):
+        suite = (ModelTestSuite("L0").add_structural()
+                 .add_wellformedness())
+        result = suite.run(cruise_model.model)
+        assert result.passed
+        assert len(result.results) == 2
+        assert "PASS" in result.summary()
+
+    def test_constraint_suite(self, cruise_model):
+        constraints = ConstraintSet("naming")
+        constraints.add(Clazz, "capitalised",
+                        "name.substring(1,1) = "
+                        "name.substring(1,1).toUpperCase()")
+        suite = ModelTestSuite("L0").add_constraints(constraints)
+        assert suite.run(cruise_model.model).passed
+
+    def test_metric_threshold(self, cruise_model):
+        from repro.validation import compute_model_metrics
+        suite = ModelTestSuite("L0").add_metric_threshold(
+            "coupling",
+            lambda root: compute_model_metrics(root).coupling_density,
+            maximum=0.9)
+        assert suite.run(cruise_model.model).passed
+        strict = ModelTestSuite("L0").add_metric_threshold(
+            "coupling",
+            lambda root: compute_model_metrics(root).coupling_density,
+            maximum=0.0)
+        assert not strict.run(cruise_model.model).passed
+
+    def test_crashing_test_fails(self, cruise_model):
+        suite = ModelTestSuite("L0").add(
+            "boom", lambda roots: 1 / 0)
+        result = suite.run(cruise_model.model)
+        assert not result.passed
+        assert "raised" in result.failures()[0].messages[0]
+
+    def test_as_gate(self, cruise_model):
+        suite = ModelTestSuite("L0").add_wellformedness()
+        gate = suite.as_gate()
+        verdict = gate([cruise_model.model])
+        assert verdict.passed
+
+
+class TestProcess:
+    def make_process(self, posix):
+        suite = (ModelTestSuite("pim-tests").add_structural()
+                 .add_wellformedness())
+        process = DevelopmentProcess("dev")
+        process.add_phase("pim", suite=suite,
+                          transformation=make_pim_to_psm(posix),
+                          platform=posix)
+        process.add_phase("psm",
+                          suite=ModelTestSuite("psm-tests")
+                          .add_structural())
+        return process
+
+    def test_process_completes(self, cruise_model, posix):
+        process = self.make_process(posix)
+        run = process.run(cruise_model.model)
+        assert run.completed
+        assert run.final_roots[0].name == "cruise_posix_rtos"
+        assert run.record("pim").transformed
+        assert not run.record("psm").transformed
+
+    def test_gate_stops_defective_model(self, posix):
+        factory = ModelFactory("bad")
+        factory.clazz("Dup")
+        factory.clazz("Dup")      # well-formedness violation
+        process = self.make_process(posix)
+        run = process.run(factory.model)
+        assert not run.completed
+        assert run.stopped_at == "pim"
+        assert run.final_roots[0] is factory.model    # nothing produced
+
+    def test_ungated_process_propagates_defects(self, posix):
+        factory = ModelFactory("bad")
+        factory.clazz("Dup")
+        factory.clazz("Dup")
+        process = self.make_process(posix)
+        run = process.run(factory.model, enforce_gates=False)
+        assert run.completed
+        # the defect is now IN the PSM: two classes named Dup
+        psm = run.final_roots[0]
+        dups = [e for e in psm.packaged_elements if e.name == "Dup"]
+        assert len(dups) == 2
+
+    def test_as_stack(self, posix):
+        process = self.make_process(posix)
+        stack = process.as_stack()
+        assert [l.name for l in stack.levels()] == ["pim", "psm"]

@@ -1,0 +1,198 @@
+"""Edge-case tests for corners the feature-level suites don't reach:
+notifications, builders, the code writer, features, environments."""
+
+import pytest
+
+from repro.codegen import CodeWriter
+from repro.mof import (
+    ChangeKind,
+    ChangeRecorder,
+    MetamodelError,
+    MString,
+    PackageBuilder,
+)
+from repro.ocl import Environment, evaluate
+from repro.uml import (
+    Comment,
+    Interaction,
+    Message,
+    ModelFactory,
+    Operation,
+    Parameter,
+    Property,
+)
+from kernel_fixture import TBook, TLibrary
+
+
+class TestNotifications:
+    def test_move_notification(self, library):
+        lib, b1, b2 = library
+        recorder = ChangeRecorder()
+        lib.observe(recorder)
+        lib.books.move(0, b2)
+        kinds = [n.kind for n in recorder.notifications]
+        assert ChangeKind.MOVE in kinds
+        move = [n for n in recorder.notifications
+                if n.kind is ChangeKind.MOVE][0]
+        assert move.position == 0
+
+    def test_recorder_clear_and_len(self):
+        book = TBook()
+        recorder = ChangeRecorder()
+        book.observe(recorder)
+        book.pages = 5
+        assert len(recorder) == 1
+        recorder.clear()
+        assert len(recorder) == 0
+
+    def test_notification_str(self):
+        book = TBook()
+        recorder = ChangeRecorder()
+        book.observe(recorder)
+        book.pages = 5
+        assert "pages" in str(recorder.notifications[0])
+
+
+class TestBuilderEdges:
+    def test_unknown_superclass_string(self):
+        builder = PackageBuilder("b1")
+        with pytest.raises(MetamodelError):
+            builder.clazz("Child", superclasses=["Missing"])
+
+    def test_contains_shortcut(self):
+        pkg = (PackageBuilder("b2")
+               .clazz("Box").attr("name", MString)
+               .contains("parts", "Part")
+               .clazz("Part").attr("name", MString)
+               .build())
+        box = pkg.classifier("Box")()
+        part = pkg.classifier("Part")(name="p")
+        box.parts.append(part)
+        assert part.container is box
+
+    def test_chained_without_done(self):
+        pkg = (PackageBuilder("b3")
+               .clazz("A").attr("name", MString)
+               .clazz("B", superclasses=["A"])
+               .build())
+        assert pkg.classifier("B").conforms_to(pkg.classifier("A"))
+
+    def test_enum_from_class_builder(self):
+        pkg = (PackageBuilder("b4")
+               .clazz("X").enum("E", ["a", "b"])
+               .build())
+        assert pkg.classifier("E").literals == ("a", "b")
+
+
+class TestCodeWriter:
+    def test_blocks_and_indent(self):
+        writer = CodeWriter()
+        with writer.block("if (x) {"):
+            writer.line("y = 1;")
+            with writer.block("while (z) {"):
+                writer.line("z--;")
+        text = writer.text()
+        assert "    y = 1;" in text
+        assert "        z--;" in text
+        assert text.count("}") == 2
+
+    def test_dedent_below_zero(self):
+        writer = CodeWriter()
+        with pytest.raises(ValueError):
+            writer.dedent()
+
+    def test_blank_collapses(self):
+        writer = CodeWriter()
+        writer.line("a")
+        writer.blank()
+        writer.blank()
+        writer.line("b")
+        assert writer.text() == "a\n\nb\n"
+
+    def test_lines_helper(self):
+        writer = CodeWriter()
+        writer.lines(["a", "b"])
+        assert len(writer) == 2
+
+
+class TestUmlFeatureDetails:
+    def test_parameter_directions(self, factory):
+        cls = factory.clazz("S")
+        op = Operation(name="f")
+        cls.owned_operations.append(op)
+        op.add_parameter("x", factory.integer, direction="in")
+        op.add_parameter("y", factory.integer, direction="out")
+        op.add_parameter("r", factory.integer, direction="return")
+        assert [p.name for p in op.in_parameters()] == ["x"]
+        assert op.return_parameter().name == "r"
+
+    def test_multiplicity_strings(self):
+        prop = Property(name="p", lower=0, upper=-1)
+        assert prop.multiplicity_str() == "0..*"
+        assert prop.is_many
+        prop2 = Property(name="q", lower=1, upper=1)
+        assert prop2.multiplicity_str() == "1"
+        assert not prop2.is_many
+
+    def test_visibility_enum(self):
+        prop = Property(name="p")
+        assert prop.visibility == "private"
+        prop.visibility = "public"
+        from repro.mof import TypeConformanceError
+        with pytest.raises(TypeConformanceError):
+            prop.visibility = "secret"
+
+    def test_comments_owned(self, factory):
+        cls = factory.clazz("C")
+        note = Comment(body="important")
+        cls.comments.append(note)
+        assert note.container is cls
+
+    def test_message_label(self):
+        message = Message(name="ping")
+        message.arguments = ["1", "x"]
+        assert message.label() == "ping(1, x)"
+
+    def test_interaction_lifeline_lookup(self, factory):
+        interaction = Interaction(name="ix")
+        cls = factory.clazz("C")
+        interaction.add_lifeline("a", cls)
+        assert interaction.lifeline("a").represents is cls
+        assert interaction.lifeline("zz") is None
+
+
+class TestOclEnvironment:
+    def test_register_type_explicit(self):
+        env = Environment()
+        env.register_type("Book", TBook._meta)
+        env.define("self", TBook(name="t"))
+        assert evaluate("self.oclIsKindOf(Book)", env) is True
+
+    def test_child_sees_parent_bindings(self):
+        env = Environment()
+        env.define("x", 41)
+        child = env.child()
+        child.define("y", 1)
+        assert evaluate("x + y", child) == 42
+
+    def test_shadowing_in_child(self):
+        env = Environment()
+        env.define("x", 1)
+        child = env.child()
+        child.define("x", 2)
+        assert evaluate("x", child) == 2
+        assert evaluate("x", env) == 1
+
+
+class TestReprs:
+    def test_metaclass_and_feature_reprs(self):
+        assert "TBook" in repr(TBook._meta)
+        assert "pages" in repr(TBook._meta.feature("pages"))
+
+    def test_featurelist_repr(self):
+        lib = TLibrary()
+        assert "books" in repr(lib.books)
+
+    def test_multiplicity_in_feature_repr(self):
+        feature = TLibrary._meta.feature("books")
+        assert "0..*" in repr(feature)

@@ -1,0 +1,86 @@
+"""Tests for structural model comparison."""
+
+import pytest
+
+from repro.mof import DiffKind, compare
+from repro.transform import clone_transformation
+from repro.uml import UmlElement
+
+
+@pytest.fixture
+def pair(cruise_model):
+    left = cruise_model.model
+    right = clone_transformation(UmlElement).run(left).primary_root
+    return left, right
+
+
+class TestCompare:
+    def test_clone_is_identical(self, pair):
+        left, right = pair
+        result = compare(left, right)
+        assert result.identical, str(result)
+
+    def test_attribute_change_detected(self, pair):
+        left, right = pair
+        controller = [e for e in right.all_contents()
+                      if getattr(e, "name", "") == "CruiseController"][0]
+        controller.is_abstract = True
+        result = compare(left, right)
+        assert len(result.changed) == 1
+        diff = result.changed[0]
+        assert diff.kind is DiffKind.ATTRIBUTE
+        assert diff.feature == "is_abstract"
+        assert diff.left is False and diff.right is True
+
+    def test_added_and_removed_elements(self, pair, cruise_model):
+        left, right = pair
+        # add to right
+        from repro.uml import Clazz
+        right.packaged_elements.append(Clazz(name="NewThing"))
+        # remove from left's copy? remove from right an original member
+        sensor = [e for e in right.packaged_elements
+                  if e.name == "SpeedSensor"][0]
+        sensor.delete()
+        result = compare(left, right)
+        assert any("NewThing" in d.path for d in result.added)
+        assert any("SpeedSensor" in d.path for d in result.removed)
+        assert "+1" in result.summary() and "-1" in result.summary()
+
+    def test_reference_retarget_detected(self, pair):
+        left, right = pair
+        controller = [e for e in right.all_contents()
+                      if getattr(e, "name", "") == "CruiseController"][0]
+        sensor = [e for e in right.all_contents()
+                  if getattr(e, "name", "") == "SpeedSensor"][0]
+        prop = controller.attribute("actuator")
+        prop.type = sensor           # retarget
+        result = compare(left, right)
+        assert any(d.kind is DiffKind.REFERENCE and d.feature == "type"
+                   for d in result.differences)
+
+    def test_transition_effect_change(self, pair):
+        left, right = pair
+        transition = [e for e in right.all_contents()
+                      if e.meta.name == "Transition"
+                      and getattr(e, "trigger", "") == "engage"][0]
+        transition.effect = "something_else()"
+        result = compare(left, right)
+        assert any(d.feature == "effect" for d in result.changed)
+
+    def test_type_mismatch_at_same_path(self, cruise_model):
+        from repro.uml import Clazz, Interface, UmlModel
+        left = UmlModel(name="m")
+        left.add(Clazz(name="X"))
+        right = UmlModel(name="m")
+        right.add(Interface(name="X"))
+        result = compare(left, right)
+        # name signature includes metaclass so they count as add+remove
+        kinds = {d.kind for d in result.differences}
+        assert kinds & {DiffKind.ADDED, DiffKind.REMOVED, DiffKind.TYPE}
+
+    def test_str_renderings(self, pair):
+        left, right = pair
+        assert str(compare(left, right)) == "models identical"
+        right.name = "other"
+        text = str(compare(left, right))
+        assert "name" in text

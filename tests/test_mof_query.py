@@ -1,0 +1,92 @@
+"""Tests for the traversal and query helpers."""
+
+import pytest
+
+from repro.mof import (
+    all_contents,
+    closure,
+    cross_references,
+    find_by_name,
+    instances_of,
+    navigate,
+    path,
+    referenced_elements,
+    select,
+)
+from kernel_fixture import TBook, TChapter, TLibrary
+
+
+@pytest.fixture
+def deep_library():
+    lib = TLibrary(name="lib")
+    b1 = TBook(name="alpha", pages=10)
+    b2 = TBook(name="beta", pages=20)
+    c1 = TChapter(name="c1")
+    c2 = TChapter(name="c2")
+    b1.chapters.extend([c1, c2])
+    lib.books.extend([b1, b2])
+    b1.sequel = b2
+    lib.featured = b2
+    return lib, b1, b2, c1, c2
+
+
+def test_all_contents_preorder(deep_library):
+    lib, b1, b2, c1, c2 = deep_library
+    assert list(all_contents(lib)) == [b1, c1, c2, b2]
+    assert list(all_contents(lib, include_self=True))[0] is lib
+
+
+def test_instances_of(deep_library):
+    lib, b1, b2, c1, c2 = deep_library
+    assert instances_of(lib, TBook) == [b1, b2]
+    assert instances_of(lib, TChapter) == [c1, c2]
+
+
+def test_find_by_name(deep_library):
+    lib, b1, *_ = deep_library
+    assert find_by_name(lib, "alpha") is b1
+    assert find_by_name(lib, "alpha", TChapter) is None
+    assert find_by_name(lib, "missing") is None
+
+
+def test_select(deep_library):
+    lib, *_ = deep_library
+    heavy = select(lib, lambda e: isinstance(e, TBook) and e.pages > 15)
+    assert [b.name for b in heavy] == ["beta"]
+
+
+def test_closure(deep_library):
+    lib, b1, b2, *_ = deep_library
+    out = closure([b1], lambda b: [b.sequel] if b.sequel else [])
+    assert out == [b2]
+
+
+def test_referenced_elements(deep_library):
+    lib, b1, b2, *_ = deep_library
+    refs = referenced_elements(lib)
+    assert refs == [b2]                       # featured only (non-containment)
+    refs_with = referenced_elements(lib, include_containment=True)
+    assert b1 in refs_with and b2 in refs_with
+
+
+def test_cross_references(deep_library):
+    lib, b1, b2, *_ = deep_library
+    links = cross_references(lib)
+    pairs = {(s.name or "", f.name, t.name or "") for s, f, t in links}
+    assert ("lib", "featured", "beta") in pairs
+    assert ("alpha", "sequel", "beta") in pairs
+
+
+def test_path(deep_library):
+    lib, b1, _, c1, _ = deep_library
+    assert path(c1) == "lib/alpha/c1"
+
+
+def test_navigate_dotted(deep_library):
+    lib, b1, b2, *_ = deep_library
+    assert navigate(b1, "library.name") == "lib"
+    names = navigate(lib, "books.name")
+    assert names == ["alpha", "beta"]
+    chapter_names = navigate(lib, "books.chapters.name")
+    assert chapter_names == ["c1", "c2"]
+    assert navigate(b2, "sequel") is None

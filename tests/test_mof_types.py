@@ -1,0 +1,90 @@
+"""Tests for primitive types and multiplicities."""
+
+import pytest
+
+from repro.mof import (
+    M_01,
+    M_0N,
+    M_11,
+    M_1N,
+    MBoolean,
+    MInteger,
+    MReal,
+    MString,
+    Multiplicity,
+    UNBOUNDED,
+    primitive_by_name,
+)
+
+
+class TestMultiplicity:
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            Multiplicity(-1, 1)
+        with pytest.raises(ValueError):
+            Multiplicity(2, 1)
+        with pytest.raises(ValueError):
+            Multiplicity(0, 0)
+
+    def test_is_many(self):
+        assert M_0N.is_many and M_1N.is_many
+        assert not M_01.is_many and not M_11.is_many
+        assert Multiplicity(0, 5).is_many
+
+    def test_is_required(self):
+        assert M_11.is_required and M_1N.is_required
+        assert not M_01.is_required
+
+    def test_accepts_count(self):
+        assert M_01.accepts_count(0) and M_01.accepts_count(1)
+        assert not M_01.accepts_count(2)
+        assert M_1N.accepts_count(99)
+        assert not M_1N.accepts_count(0)
+        bounded = Multiplicity(2, 4)
+        assert not bounded.accepts_count(1)
+        assert bounded.accepts_count(3)
+        assert not bounded.accepts_count(5)
+
+    def test_str(self):
+        assert str(M_0N) == "0..*"
+        assert str(M_11) == "1"
+        assert str(Multiplicity(0, 1)) == "0..1"
+        assert str(Multiplicity(3, 3)) == "3"
+
+
+class TestPrimitives:
+    def test_conformance(self):
+        assert MString.conforms("x") and not MString.conforms(1)
+        assert MInteger.conforms(3) and not MInteger.conforms(3.5)
+        assert MReal.conforms(3) and MReal.conforms(3.5)
+        assert MBoolean.conforms(True)
+
+    def test_bool_not_a_number(self):
+        assert not MInteger.conforms(True)
+        assert not MReal.conforms(False)
+
+    def test_none_conforms_everywhere(self):
+        for prim in (MString, MInteger, MReal, MBoolean):
+            assert prim.conforms(None)
+
+    def test_coerce_from_strings(self):
+        assert MInteger.coerce("42") == 42
+        assert MReal.coerce("2.5") == 2.5
+        assert MBoolean.coerce("true") is True
+        assert MBoolean.coerce("0") is False
+        with pytest.raises(ValueError):
+            MBoolean.coerce("maybe")
+
+    def test_coerce_identity(self):
+        assert MString.coerce("x") == "x"
+        assert MInteger.coerce(None) is None
+
+    def test_lookup_by_name(self):
+        assert primitive_by_name("Integer") is MInteger
+        with pytest.raises(KeyError):
+            primitive_by_name("Complex")
+
+    def test_defaults(self):
+        assert MString.default == ""
+        assert MInteger.default == 0
+        assert MBoolean.default is False

@@ -1,0 +1,293 @@
+"""Tests for OCL evaluation: literals, operators, collections, navigation,
+type operations, allInstances."""
+
+import pytest
+
+from repro.mof import Model
+from repro.ocl import (
+    Environment,
+    OclEvaluationError,
+    OclTypeError,
+    evaluate,
+)
+from repro.uml import Clazz, ModelFactory
+
+
+class TestArithmeticAndLogic:
+    @pytest.mark.parametrize("expr,expected", [
+        ("1 + 2", 3),
+        ("7 - 10", -3),
+        ("3 * 4", 12),
+        ("7 / 2", 3.5),
+        ("7 div 2", 3),
+        ("7 mod 2", 1),
+        ("-3 + 1", -2),
+        ("2 * 3 + 4", 10),
+        ("2 + 3 * 4", 14),
+    ])
+    def test_arithmetic(self, expr, expected):
+        assert evaluate(expr) == expected
+
+    @pytest.mark.parametrize("expr,expected", [
+        ("true and false", False),
+        ("true or false", True),
+        ("true xor true", False),
+        ("false implies false", True),
+        ("true implies false", False),
+        ("not true", False),
+    ])
+    def test_logic(self, expr, expected):
+        assert evaluate(expr) is expected
+
+    @pytest.mark.parametrize("expr,expected", [
+        ("1 < 2", True), ("2 <= 2", True), ("3 > 4", False),
+        ("4 >= 5", False), ("1 = 1", True), ("1 <> 1", False),
+        ("'a' < 'b'", True), ("'x' = 'x'", True),
+    ])
+    def test_comparisons(self, expr, expected):
+        assert evaluate(expr) is expected
+
+    def test_division_by_zero(self):
+        with pytest.raises(OclEvaluationError):
+            evaluate("1 / 0")
+        with pytest.raises(OclEvaluationError):
+            evaluate("1 div 0")
+
+    def test_type_errors(self):
+        with pytest.raises(OclTypeError):
+            evaluate("1 - 'x'")
+        with pytest.raises(OclTypeError):
+            evaluate("1 < 'x'")
+        with pytest.raises(OclTypeError):
+            evaluate("1 and true")
+
+    def test_equality_across_kinds(self):
+        assert evaluate("1 = true") is False
+        assert evaluate("null = null") is True
+        assert evaluate("1 = null") is False
+
+    def test_string_concat_plus(self):
+        assert evaluate("'a' + 'b'") == "ab"
+        assert evaluate("'n=' + 1") == "n=1"
+
+    def test_short_circuit(self):
+        # right side would be a type error if evaluated
+        assert evaluate("false and (1 + 'x' = 0)") is False
+        assert evaluate("true or (1 + 'x' = 0)") is True
+
+
+class TestStringsAndNumbers:
+    def test_string_operations(self):
+        assert evaluate("'hello'.size()") == 5
+        assert evaluate("'hello'.toUpperCase()") == "HELLO"
+        assert evaluate("'Hello'.substring(1, 3)") == "Hel"
+        assert evaluate("'ab'.concat('cd')") == "abcd"
+        assert evaluate("'hello'.startsWith('he')") is True
+        assert evaluate("'42'.toInteger()") == 42
+
+    def test_number_operations(self):
+        assert evaluate("(-5).abs()") == 5
+        assert evaluate("(2.7).floor()") == 2
+        assert evaluate("(2.5).round()") == 2
+        assert evaluate("(3).max(7)") == 7
+        assert evaluate("(3).min(7)") == 3
+
+    def test_unknown_operation(self):
+        with pytest.raises(OclEvaluationError):
+            evaluate("'x'.frobnicate()")
+
+
+class TestCollections:
+    def test_literals_and_ranges(self):
+        assert evaluate("Sequence{1..4}") == [1, 2, 3, 4]
+        assert evaluate("Set{1, 1, 2}") == [1, 2]
+        assert evaluate("Bag{1, 1}") == [1, 1]
+
+    def test_basic_ops(self):
+        assert evaluate("Sequence{}->isEmpty()") is True
+        assert evaluate("Sequence{1,2}->notEmpty()") is True
+        assert evaluate("Sequence{1,2,3}->first()") == 1
+        assert evaluate("Sequence{1,2,3}->last()") == 3
+        assert evaluate("Sequence{5,6}->at(2)") == 6
+        assert evaluate("Sequence{1,2,2}->count(2)") == 2
+        assert evaluate("Sequence{1,2}->including(3)") == [1, 2, 3]
+        assert evaluate("Sequence{1,2,2}->excluding(2)") == [1]
+        assert evaluate("Sequence{1,2}->reverse()") == [2, 1]
+        assert evaluate("Sequence{1,2,3}->indexOf(2)") == 2
+        assert evaluate("Sequence{1,2,3,4}->subSequence(2,3)") == [2, 3]
+
+    def test_at_bounds(self):
+        with pytest.raises(OclEvaluationError):
+            evaluate("Sequence{1}->at(0)")
+        with pytest.raises(OclEvaluationError):
+            evaluate("Sequence{1}->at(2)")
+
+    def test_aggregations(self):
+        assert evaluate("Sequence{1,2,3}->sum()") == 6
+        assert evaluate("Sequence{1,2,3}->max()") == 3
+        assert evaluate("Sequence{1,2,3}->min()") == 1
+        assert evaluate("Sequence{2,4}->avg()") == 3
+        assert evaluate("Sequence{}->max()") is None
+
+    def test_set_algebra(self):
+        assert evaluate("Set{1,2}->union(Set{2,3})") == [1, 2, 3]
+        assert evaluate("Set{1,2,3}->intersection(Set{2,3,4})") == [2, 3]
+        assert evaluate(
+            "Set{1,2}->symmetricDifference(Set{2,3})") == [1, 3]
+        assert evaluate("Set{1,2}->includesAll(Sequence{1})") is True
+        assert evaluate("Set{1}->excludesAll(Sequence{2,3})") is True
+
+    def test_iterators(self):
+        assert evaluate("Sequence{1,2,3,4}->select(x | x mod 2 = 0)") == [2, 4]
+        assert evaluate("Sequence{1,2,3}->reject(x | x > 1)") == [1]
+        assert evaluate("Sequence{1,2}->collect(x | x * x)") == [1, 4]
+        assert evaluate("Sequence{1,2}->forAll(x | x > 0)") is True
+        assert evaluate("Sequence{1,2}->exists(x | x = 2)") is True
+        assert evaluate("Sequence{1,2,3}->one(x | x = 2)") is True
+        assert evaluate("Sequence{1,2,2}->one(x | x = 2)") is False
+        assert evaluate("Sequence{3,1,2}->sortedBy(x | x)") == [1, 2, 3]
+        assert evaluate("Sequence{1,2}->isUnique(x | x mod 2)") is True
+        assert evaluate("Sequence{1,3}->isUnique(x | x mod 2)") is False
+        assert evaluate("Sequence{1,2,3}->any(x | x > 1)") == 2
+
+    def test_forall_pairwise(self):
+        assert evaluate("Sequence{1,1}->forAll(a, b | a = b)") is True
+        assert evaluate("Sequence{1,2}->forAll(a, b | a = b)") is False
+        assert evaluate("Sequence{1,2}->exists(a, b | a <> b)") is True
+
+    def test_collect_flattens_one_level(self):
+        assert evaluate(
+            "Sequence{1,2}->collect(x | Sequence{x, x})") == [1, 1, 2, 2]
+        assert evaluate(
+            "Sequence{1,2}->collectNested(x | Sequence{x})") == [[1], [2]]
+
+    def test_flatten(self):
+        assert evaluate(
+            "Sequence{1,2}->collectNested(x | Sequence{x})->flatten()"
+        ) == [1, 2]
+
+    def test_closure(self):
+        # numeric closure: halving until zero
+        assert evaluate(
+            "Set{8}->closure(x | if x > 0 then Set{x div 2} "
+            "else Set{} endif)") == [4, 2, 1, 0]
+
+    def test_scalar_wrapped(self):
+        assert evaluate("(5)->size()") == 1
+        assert evaluate("null->isEmpty()") is True
+
+    def test_sortedby_incomparable(self):
+        with pytest.raises(OclTypeError):
+            evaluate("Sequence{1,'a'}->sortedBy(x | x)")
+
+    def test_unknown_collection_op(self):
+        with pytest.raises(OclEvaluationError):
+            evaluate("Sequence{1}->frob()")
+
+
+class TestModelNavigation:
+    @pytest.fixture
+    def model(self):
+        factory = ModelFactory("nav")
+        base = factory.clazz("Base", attrs={"id": "Integer"})
+        left = factory.clazz("Left", supers=[base])
+        right = factory.clazz("Right", supers=[base])
+        factory.associate(left, right, end_b="partner")
+        return factory
+
+    def test_feature_navigation(self, model):
+        left = model.model.member("Left")
+        assert evaluate("self.name", self=left) == "Left"
+        assert evaluate(
+            "self.generalizations->size()", self=left) == 1
+
+    def test_implicit_self(self, model):
+        left = model.model.member("Left")
+        assert evaluate("name.size()", self=left) == 4
+
+    def test_method_fallback(self, model):
+        left = model.model.member("Left")
+        names = evaluate("self.all_supers()->collect(s | s.name)",
+                         self=left)
+        assert names == ["Base"]
+
+    def test_collection_navigation_flattens(self, model):
+        root = model.model
+        names = evaluate(
+            "self.packaged_elements->select(e | e.oclIsKindOf(Clazz))"
+            "->collect(c | c.name)", self=root)
+        assert set(names) >= {"Base", "Left", "Right"}
+
+    def test_all_instances(self, model):
+        root = model.model
+        count = evaluate("Clazz.allInstances()->size()", self=root)
+        assert count == 3
+
+    def test_all_instances_requires_scope(self):
+        env = Environment()
+        from repro.uml import UML
+        env.register_package(UML)
+        with pytest.raises(OclEvaluationError):
+            evaluate("Clazz.allInstances()", env)
+
+    def test_type_operations(self, model):
+        left = model.model.member("Left")
+        assert evaluate("self.oclIsKindOf(Clazz)", self=left) is True
+        assert evaluate("self.oclIsTypeOf(Clazz)", self=left) is True
+        assert evaluate("self.oclIsKindOf(Package)", self=left) is False
+        assert evaluate("self.oclAsType(Clazz) = self", self=left) is True
+        assert evaluate("self.oclAsType(Package)", self=left) is None
+        assert evaluate("self.oclIsUndefined()", self=left) is False
+        assert evaluate("null.oclIsUndefined()", self=left) is True
+
+    def test_navigation_through_none_is_none(self, model):
+        left = model.model.member("Left")
+        assert evaluate("self.classifier_behavior.name",
+                        self=left) is None
+
+    def test_unknown_feature_raises(self, model):
+        left = model.model.member("Left")
+        with pytest.raises(OclEvaluationError):
+            evaluate("self.nonexistent", self=left)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(OclEvaluationError):
+            evaluate("mystery_variable")
+
+    def test_let_shadowing(self):
+        assert evaluate("let x = 1 in let x = 2 in x") == 2
+
+    def test_variable_bindings(self):
+        assert evaluate("a + b", a=2, b=3) == 5
+
+    def test_environment_for_repository(self, model):
+        from repro.mof import Repository
+        repo = Repository()
+        repo.create_model("urn:nav").add_root(model.model)
+        env = Environment.for_model(repo)
+        assert evaluate("Clazz.allInstances()->size()", env) == 3
+
+
+class TestTuples:
+    def test_literal_and_navigation(self):
+        assert evaluate("Tuple{a = 1, b = 'x'}.a") == 1
+        assert evaluate("Tuple{a = 1, b = 'x'}.b") == "x"
+
+    def test_nested_in_collections(self):
+        result = evaluate(
+            "Sequence{1,2,3}->collect(v | Tuple{value = v, odd = "
+            "v mod 2 = 1})->select(t | t.odd)->collect(t | t.value)")
+        assert result == [1, 3]
+
+    def test_let_bound_tuple(self):
+        assert evaluate(
+            "let p = Tuple{x = 3, y = 4} in p.x * p.x + p.y * p.y") == 25
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(OclEvaluationError):
+            evaluate("Tuple{a = 1}.z")
+
+    def test_roundtrips_through_unparse(self):
+        from repro.ocl import parse, unparse
+        ast = parse("Tuple{a = 1 + 2, b = Tuple{c = 'x'}}")
+        assert parse(unparse(ast)) == ast

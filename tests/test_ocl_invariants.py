@@ -1,0 +1,112 @@
+"""Tests for invariants and constraint sets."""
+
+import pytest
+
+from repro.mof import Model, Severity, validate_tree
+from repro.ocl import ConstraintSet, Invariant, invariant
+from repro.uml import Clazz, ModelFactory, Property
+
+
+@pytest.fixture
+def model():
+    factory = ModelFactory("inv")
+    factory.clazz("Good", attrs={"x": "Integer"})
+    factory.clazz("AlsoGood", attrs={"y": "Integer"})
+    return factory
+
+
+class TestInvariant:
+    def test_holds(self, model):
+        inv = Invariant(Clazz, "short-name", "name.size() < 10")
+        good = model.model.member("Good")
+        assert inv.holds(good)
+
+    def test_register_unregister(self, model):
+        inv = invariant(Clazz, "named", "name <> ''")
+        try:
+            assert inv in Clazz._meta.invariants
+            report = validate_tree(model.model)
+            assert report.ok
+            model.clazz("")
+            report = validate_tree(model.model)
+            assert any(d.code == "invariant" for d in report.errors)
+        finally:
+            inv.unregister()
+        assert inv not in Clazz._meta.invariants
+
+    def test_double_register_is_idempotent(self):
+        inv = Invariant(Clazz, "x", "true")
+        try:
+            inv.register()
+            inv.register()
+            assert Clazz._meta.invariants.count(inv) == 1
+        finally:
+            inv.unregister()
+
+    def test_inherited_invariants_apply_to_subclasses(self, model):
+        from repro.uml import Classifier
+        inv = invariant(Classifier, "classifier-named", "name <> ''")
+        try:
+            model.clazz("")       # Clazz conforms to Classifier
+            report = validate_tree(model.model)
+            assert any(d.code == "invariant" for d in report.errors)
+        finally:
+            inv.unregister()
+
+    def test_severity_warning(self, model):
+        inv = Invariant(Clazz, "soft", "name.size() < 2",
+                        severity=Severity.WARNING)
+        inv.register()
+        try:
+            report = validate_tree(model.model)
+            assert report.ok                      # warnings don't fail
+            assert report.warnings
+        finally:
+            inv.unregister()
+
+
+class TestConstraintSet:
+    def test_check_without_registration(self, model):
+        constraints = ConstraintSet("L0")
+        constraints.add(Clazz, "has-x-or-y",
+                        "owned_attributes->notEmpty()")
+        report = constraints.check(model.model)
+        assert report.ok
+        assert not Clazz._meta.invariants     # unregistered by design
+
+    def test_violations_reported_per_element(self, model):
+        constraints = ConstraintSet("L0")
+        constraints.add(Clazz, "x-attr",
+                        "owned_attributes->exists(p | p.name = 'x')")
+        report = constraints.check(model.model)
+        # 'AlsoGood' has y, not x
+        assert len(report.errors) == 1
+
+    def test_broken_expression_reported_not_raised(self, model):
+        constraints = ConstraintSet("L0")
+        constraints.add(Clazz, "broken", "no_such_feature > 1")
+        report = constraints.check(model.model)
+        assert any(d.code == "invariant-error" for d in report.errors)
+
+    def test_register_all(self, model):
+        constraints = ConstraintSet("L0")
+        constraints.add(Clazz, "a", "true")
+        constraints.add(Clazz, "b", "true")
+        constraints.register_all()
+        try:
+            assert len([i for i in Clazz._meta.invariants
+                        if i in constraints.invariants]) == 2
+        finally:
+            constraints.unregister_all()
+
+    def test_check_scoped_to_element(self, model):
+        constraints = ConstraintSet("L0")
+        constraints.add(Property, "typed", "type <> null")
+        good = model.model.member("Good")
+        report = constraints.check(good)
+        assert report.ok
+
+    def test_len(self):
+        constraints = ConstraintSet("L0")
+        constraints.add(Clazz, "a", "true")
+        assert len(constraints) == 1

@@ -1,0 +1,163 @@
+"""Tests for the OCL lexer and parser."""
+
+import pytest
+
+from repro.ocl import OclSyntaxError, parse, tokenize
+from repro.ocl.ast import (
+    ArrowCall,
+    BinOp,
+    Call,
+    CollectionLiteral,
+    If,
+    Ident,
+    Let,
+    Literal,
+    Nav,
+    Range,
+    SelfExpr,
+    UnOp,
+)
+from repro.ocl.lexer import TokenKind
+
+
+class TestLexer:
+    def test_numbers(self):
+        kinds = [(t.kind, t.value) for t in tokenize("1 2.5 300")][:-1]
+        assert kinds == [(TokenKind.INT, "1"), (TokenKind.REAL, "2.5"),
+                         (TokenKind.INT, "300")]
+
+    def test_range_not_real(self):
+        values = [t.value for t in tokenize("1..5")][:-1]
+        assert values == ["1", "..", "5"]
+
+    def test_string_with_escape(self):
+        tokens = tokenize(r"'a\'b\nc'")
+        assert tokens[0].value == "a'b\nc"
+
+    def test_unterminated_string(self):
+        with pytest.raises(OclSyntaxError):
+            tokenize("'oops")
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("self andx and")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[1].kind is TokenKind.IDENT
+        assert tokens[2].kind is TokenKind.KEYWORD
+
+    def test_comments_skipped(self):
+        tokens = tokenize("1 -- comment\n+ 2")
+        assert [t.value for t in tokens][:-1] == ["1", "+", "2"]
+
+    def test_multichar_operators(self):
+        values = [t.value for t in tokenize("a->b <= c <> d :: e")][:-1]
+        assert "->" in values and "<=" in values and "<>" in values \
+               and "::" in values
+
+    def test_unexpected_character(self):
+        with pytest.raises(OclSyntaxError):
+            tokenize("a $ b")
+
+
+class TestParserShapes:
+    def test_precedence_arithmetic(self):
+        node = parse("1 + 2 * 3")
+        assert isinstance(node, BinOp) and node.op == "+"
+        assert isinstance(node.right, BinOp) and node.right.op == "*"
+
+    def test_precedence_boolean(self):
+        node = parse("a or b and c implies d")
+        assert node.op == "implies"
+        assert node.left.op == "or"
+
+    def test_not_binds_tighter_than_and(self):
+        node = parse("not a and b")
+        assert node.op == "and"
+        assert isinstance(node.left, UnOp)
+
+    def test_comparison_non_associative(self):
+        with pytest.raises(OclSyntaxError):
+            parse("1 < 2 < 3")
+
+    def test_navigation_chain(self):
+        node = parse("self.a.b")
+        assert isinstance(node, Nav) and node.name == "b"
+        assert isinstance(node.source, Nav) and node.source.name == "a"
+        assert isinstance(node.source.source, SelfExpr)
+
+    def test_method_call(self):
+        node = parse("self.f(1, 2)")
+        assert isinstance(node, Call) and node.name == "f"
+        assert len(node.args) == 2
+
+    def test_arrow_with_iterator(self):
+        node = parse("xs->select(x | x > 1)")
+        assert isinstance(node, ArrowCall)
+        assert node.iterators == ("x",)
+        assert node.body is not None
+
+    def test_arrow_implicit_iterator(self):
+        node = parse("xs->forAll(y > 0)")
+        assert node.iterators == ("__it",)
+
+    def test_arrow_two_iterators(self):
+        node = parse("xs->forAll(a, b | a = b)")
+        assert node.iterators == ("a", "b")
+
+    def test_arrow_plain_args(self):
+        node = parse("xs->includes(3)")
+        assert node.args and node.body is None
+
+    def test_arrow_no_args(self):
+        node = parse("xs->size()")
+        assert node.name == "size" and not node.args
+
+    def test_iterator_with_type_annotation(self):
+        node = parse("xs->select(x : Integer | x > 1)")
+        assert node.iterators == ("x",)
+
+    def test_collection_literals(self):
+        node = parse("Set{1, 2, 3}")
+        assert isinstance(node, CollectionLiteral) and node.kind == "Set"
+        node = parse("Sequence{1..5}")
+        assert isinstance(node.items[0], Range)
+
+    def test_if_and_let(self):
+        node = parse("if a then 1 else 2 endif")
+        assert isinstance(node, If)
+        node = parse("let x = 3 in x + 1")
+        assert isinstance(node, Let) and node.name == "x"
+
+    def test_let_with_type_annotation(self):
+        node = parse("let x : Integer = 3 in x")
+        assert isinstance(node, Let)
+
+    def test_qualified_name(self):
+        node = parse("uml::Clazz")
+        assert isinstance(node, Ident) and node.name == "uml::Clazz"
+
+    def test_trailing_garbage(self):
+        with pytest.raises(OclSyntaxError):
+            parse("1 + 2 extra")
+
+    def test_missing_endif(self):
+        with pytest.raises(OclSyntaxError):
+            parse("if a then 1 else 2")
+
+    def test_error_position_reported(self):
+        with pytest.raises(OclSyntaxError) as exc_info:
+            parse("1 + ")
+        assert "position" in str(exc_info.value)
+
+    def test_nested_parens(self):
+        node = parse("((1 + 2)) * 3")
+        assert node.op == "*"
+
+    def test_unary_minus(self):
+        node = parse("-x + 1")
+        assert node.op == "+"
+        assert isinstance(node.left, UnOp) and node.left.op == "-"
+
+    def test_div_mod_keywords(self):
+        node = parse("7 div 2 mod 2")
+        assert node.op == "mod"
+        assert node.left.op == "div"

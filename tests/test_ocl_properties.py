@@ -1,0 +1,96 @@
+"""Property-based tests for the OCL evaluator: algebraic laws that must
+hold for arbitrary inputs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ocl import evaluate
+
+ints = st.integers(-1000, 1000)
+small_int_lists = st.lists(ints, max_size=12)
+
+
+def seq(values):
+    return "Sequence{" + ", ".join(str(v) for v in values) + "}"
+
+
+@settings(max_examples=80, deadline=None)
+@given(small_int_lists)
+def test_select_reject_partition(values):
+    """select(p) ∪ reject(p) is the whole collection, disjointly."""
+    selected = evaluate(f"{seq(values)}->select(x | x mod 2 = 0)")
+    rejected = evaluate(f"{seq(values)}->reject(x | x mod 2 = 0)")
+    assert sorted(selected + rejected) == sorted(values)
+    assert all(v % 2 == 0 for v in selected)
+    assert all(v % 2 != 0 for v in rejected)
+
+
+@settings(max_examples=80, deadline=None)
+@given(small_int_lists)
+def test_sum_matches_python(values):
+    assert evaluate(f"{seq(values)}->sum()") == sum(values)
+
+
+@settings(max_examples=80, deadline=None)
+@given(small_int_lists)
+def test_size_and_asset_dedup(values):
+    assert evaluate(f"{seq(values)}->size()") == len(values)
+    assert evaluate(f"{seq(values)}->asSet()->size()") == len(set(values))
+
+
+@settings(max_examples=80, deadline=None)
+@given(small_int_lists)
+def test_sortedby_sorts(values):
+    assert evaluate(f"{seq(values)}->sortedBy(x | x)") == sorted(values)
+
+
+@settings(max_examples=80, deadline=None)
+@given(small_int_lists, ints)
+def test_including_excluding(values, extra):
+    including = evaluate(f"{seq(values)}->including({extra})")
+    assert including == values + [extra]
+    excluding = evaluate(f"{seq(values)}->excluding({extra})")
+    assert excluding == [v for v in values if v != extra]
+
+
+@settings(max_examples=80, deadline=None)
+@given(small_int_lists)
+def test_forall_exists_duality(values):
+    """forAll(p) == not exists(not p)."""
+    forall = evaluate(f"{seq(values)}->forAll(x | x > 0)")
+    not_exists = evaluate(f"not {seq(values)}->exists(x | not (x > 0))")
+    assert forall == not_exists
+
+
+@settings(max_examples=80, deadline=None)
+@given(small_int_lists, small_int_lists)
+def test_union_commutes_as_sets(a, b):
+    left = set(evaluate(f"Set{{{','.join(map(str, a)) or ''}}}"
+                        f"->union({seq(b)})"))
+    right = set(evaluate(f"Set{{{','.join(map(str, b)) or ''}}}"
+                         f"->union({seq(a)})"))
+    assert left == right == set(a) | set(b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ints, ints)
+def test_arithmetic_matches_python(a, b):
+    assert evaluate(f"({a}) + ({b})") == a + b
+    assert evaluate(f"({a}) * ({b})") == a * b
+    if b != 0:
+        assert evaluate(f"({a}) div ({b})") == a // b
+        assert evaluate(f"({a}) mod ({b})") == a % b
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.booleans(), st.booleans())
+def test_implies_truth_table(p, q):
+    expr = f"{str(p).lower()} implies {str(q).lower()}"
+    assert evaluate(expr) == ((not p) or q)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+               max_size=15))
+def test_string_size_and_case(text):
+    assert evaluate(f"'{text}'.size()") == len(text)
+    assert evaluate(f"'{text}'.toUpperCase()") == text.upper()

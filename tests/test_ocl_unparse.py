@@ -1,0 +1,99 @@
+"""Tests for the OCL unparser: parse ∘ unparse is identity on ASTs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ocl import evaluate, parse, unparse
+
+ROUND_TRIP_CASES = [
+    "1 + 2 * 3",
+    "(1 + 2) * 3",
+    "not a and b or c implies d",
+    "a.b.c",
+    "self.owned_attributes->select(p | p.type <> null)->size()",
+    "xs->forAll(a, b | a = b)",
+    "if x > 0 then 'pos' else 'neg' endif",
+    "let y = 4 in y * y",
+    "Set{1, 2, 3}->union(Sequence{4..6})",
+    "'it''s ok'.size()" .replace("''", "\\'"),
+    "self.oclIsKindOf(Clazz)",
+    "-x + 1",
+    "10 div 3 mod 2",
+    "Clazz.allInstances()->isEmpty()",
+    "null = x",
+]
+
+
+@pytest.mark.parametrize("text", ROUND_TRIP_CASES)
+def test_examples_round_trip(text):
+    ast = parse(text)
+    rendered = unparse(ast)
+    assert parse(rendered) == ast, rendered
+
+
+def test_unparse_is_stable():
+    text = "a + b * c - d"
+    once = unparse(parse(text))
+    assert unparse(parse(once)) == once
+
+
+# --- property: random ASTs survive the round trip -------------------------
+
+names = st.sampled_from(["a", "b", "x", "y", "foo"])
+numbers = st.integers(-50, 50)
+
+
+def exprs(depth):
+    if depth <= 0:
+        return st.one_of(
+            names.map(lambda n: parse(n)),
+            numbers.map(lambda v: parse(str(v))),
+            st.sampled_from([parse("true"), parse("false"),
+                             parse("null"), parse("self")]))
+    sub = exprs(depth - 1)
+    binop = st.tuples(
+        st.sampled_from(["+", "-", "*", "and", "or", "=", "<",
+                         "implies", "div"]),
+        sub, sub).map(lambda t: _binop(*t))
+    unop = sub.map(lambda e: _unop(e))
+    nav = st.tuples(sub, names).map(
+        lambda t: _nav(t[0], t[1]))
+    arrow = st.tuples(sub, names, sub).map(
+        lambda t: _arrow(t[0], t[1], t[2]))
+    return st.one_of(sub, binop, unop, nav, arrow)
+
+
+def _binop(op, left, right):
+    from repro.ocl.ast import BinOp
+    return BinOp(op=op, left=left, right=right)
+
+
+def _unop(operand):
+    from repro.ocl.ast import UnOp
+    return UnOp(op="not", operand=operand)
+
+
+def _nav(source, name):
+    from repro.ocl.ast import Nav
+    return Nav(source=source, name=name)
+
+
+def _arrow(source, iterator, body):
+    from repro.ocl.ast import ArrowCall
+    return ArrowCall(source=source, name="select",
+                     iterators=(iterator,), body=body)
+
+
+@settings(max_examples=120, deadline=None)
+@given(exprs(3))
+def test_random_asts_round_trip(ast):
+    rendered = unparse(ast)
+    assert parse(rendered) == ast, rendered
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(-100, 100), st.integers(-100, 100),
+       st.integers(-100, 100))
+def test_round_trip_preserves_value(a, b, c):
+    text = f"({a}) + ({b}) * ({c})"
+    assert evaluate(unparse(parse(text))) == a + b * c

@@ -1,0 +1,166 @@
+"""Tests for platform models and the generic PIM→PSM mapping."""
+
+import pytest
+
+from repro.mof import validate_tree
+from repro.platforms import (
+    CHANNEL_ROLE,
+    ENGINE_ROLE,
+    PIM_TO_PSM,
+    make_pim_to_psm,
+    PlatformModel,
+)
+from repro.transform import check_refinement
+from repro.uml import Clazz, Enumeration, Interface
+
+
+class TestPlatformModels:
+    def test_posix_shape(self, posix):
+        assert posix.is_real_time
+        assert posix.type_for("Integer").name == "int32_t"
+        assert posix.engine_for("thread").kind == "thread"
+        assert posix.comm_for("queue").name == "mqueue"
+        assert posix.service_named("posix_timer") is not None
+
+    def test_baremetal_shape(self, baremetal):
+        assert baremetal.type_for("Real").name == "q15_t"
+        assert baremetal.engine_for("hw_module") is not None
+        assert baremetal.comm_for("signal").is_synchronous
+
+    def test_middleware_shape(self, middleware):
+        assert not middleware.is_real_time
+        assert middleware.comm_for("topic").kind == "topic"
+        assert middleware.type_for("String").name == "Utf8String"
+
+    def test_engine_preference_order(self, posix):
+        engine = posix.engine_for("hw_module", "process")
+        assert engine.kind == "process"      # no hw modules on posix
+
+    def test_engine_fallback_to_any(self):
+        platform = PlatformModel(name="tiny")
+        assert platform.engine_for("thread") is None
+        platform.add_engine("only", "isr")
+        assert platform.engine_for("thread").name == "only"
+
+    def test_type_for_unmapped(self, posix):
+        assert posix.type_for("Quaternion") is None
+
+    def test_platform_validates(self, posix, baremetal, middleware):
+        for platform in (posix, baremetal, middleware):
+            assert validate_tree(platform).ok
+
+
+class TestGenericMapping:
+    @pytest.fixture
+    def psm(self, cruise_model, posix):
+        result = PIM_TO_PSM.run(cruise_model.model, posix)
+        return cruise_model, result
+
+    def test_single_root(self, psm):
+        _, result = psm
+        assert len(result.target_roots) == 1
+
+    def test_root_named_for_platform(self, psm):
+        _, result = psm
+        assert result.primary_root.name == "cruise_posix_rtos"
+
+    def test_active_classes_get_engine_wrappers(self, psm):
+        _, result = psm
+        names = {e.name for e in result.primary_root.packaged_elements}
+        assert "CruiseController_thread" in names
+        assert "SpeedSensor_thread" in names
+
+    def test_wrapper_holds_subject_by_composition(self, psm):
+        _, result = psm
+        wrapper = [e for e in result.primary_root.packaged_elements
+                   if e.name == "CruiseController_thread"][0]
+        subject = wrapper.attribute("subject")
+        assert subject.is_composite
+        assert subject.type.name == "CruiseController"
+
+    def test_active_to_active_association_gets_channel(self, psm):
+        _, result = psm
+        names = {e.name for e in result.primary_root.packaged_elements}
+        assert "measures_queue" in names and "drives_queue" in names
+        channel = [e for e in result.primary_root.packaged_elements
+                   if e.name == "measures_queue"][0]
+        assert channel.attribute("depth").default_value == "32"
+        assert {op.name for op in channel.owned_operations} == {"send",
+                                                                "receive"}
+
+    def test_attributes_retyped(self, psm):
+        _, result = psm
+        controller = [e for e in result.primary_root.packaged_elements
+                      if e.name == "CruiseController"][0]
+        assert controller.attribute("target").type.name == "int32_t"
+        assert controller.attribute("enabled").type.name == "bool"
+
+    def test_state_machines_flattened_and_attached(self, psm):
+        _, result = psm
+        controller = [e for e in result.primary_root.packaged_elements
+                      if e.name == "CruiseController"][0]
+        machine = controller.state_machine()
+        assert machine is not None
+        assert machine.events() == ["disengage", "engage", "tick"]
+        assert controller.classifier_behavior is machine
+
+    def test_generalizations_mapped(self, factory, posix):
+        base = factory.clazz("Base")
+        derived = factory.clazz("Derived", supers=[base])
+        result = PIM_TO_PSM.run(factory.model, posix)
+        derived_psm = [e for e in result.primary_root.packaged_elements
+                       if e.name == "Derived"][0]
+        assert [s.name for s in derived_psm.supers()] == ["Base"]
+
+    def test_interfaces_and_enums_mapped(self, factory, posix):
+        factory.interface("Svc", operations=["go"])
+        factory.enumeration("Mode", ["a", "b"])
+        result = PIM_TO_PSM.run(factory.model, posix)
+        members = {e.name: e for e in result.primary_root.packaged_elements}
+        assert isinstance(members["Svc"], Interface)
+        assert isinstance(members["Mode"], Enumeration)
+        assert members["Mode"].literal_names() == ["a", "b"]
+
+    def test_psm_structurally_valid(self, psm):
+        _, result = psm
+        assert validate_tree(result.primary_root).ok
+
+    def test_refinement_complete(self, psm):
+        cruise_model, result = psm
+        report = check_refinement(cruise_model.model, result,
+                                  required_types=[Clazz])
+        assert report.ok, str(report)
+
+    def test_trace_connects_pim_to_psm(self, psm):
+        cruise_model, result = psm
+        controller = cruise_model.model.member("CruiseController")
+        image = result.trace.resolve(controller)
+        assert image.name == "CruiseController"
+        wrapper = result.trace.resolve(controller, ENGINE_ROLE)
+        assert wrapper.name == "CruiseController_thread"
+
+    def test_same_pim_two_platforms_differ(self, cruise_model, posix,
+                                           baremetal):
+        posix_psm = PIM_TO_PSM.run(cruise_model.model, posix).primary_root
+        bm_psm = PIM_TO_PSM.run(cruise_model.model,
+                                baremetal).primary_root
+        posix_ctl = [e for e in posix_psm.packaged_elements
+                     if e.name == "CruiseController"][0]
+        bm_ctl = [e for e in bm_psm.packaged_elements
+                  if e.name == "CruiseController"][0]
+        assert posix_ctl.attribute("target").type.name == "int32_t"
+        assert bm_ctl.attribute("target").type.name == "int16_t"
+        bm_names = {e.name for e in bm_psm.packaged_elements}
+        # bare metal has no threads; the engine picks the task engine
+        assert "CruiseController_task" in bm_names
+        assert "CruiseController_thread" not in bm_names
+
+    def test_parametric_cache(self, posix):
+        t1 = PIM_TO_PSM.for_platform(posix)
+        t2 = PIM_TO_PSM.for_platform(posix)
+        assert t1 is t2
+
+    def test_make_pim_to_psm_kind(self, posix):
+        transformation = make_pim_to_psm(posix)
+        assert transformation.is_semantic
+        assert transformation.abstraction_delta == -1

@@ -1,0 +1,77 @@
+"""Tests for static memory-footprint estimation."""
+
+import pytest
+
+from repro.platforms import (
+    PIM_TO_PSM,
+    baremetal_platform,
+    class_footprint,
+    estimate_footprint,
+    posix_platform,
+)
+
+
+@pytest.fixture
+def psm(cruise_model, baremetal):
+    return PIM_TO_PSM.run(cruise_model.model, baremetal).primary_root
+
+
+class TestClassFootprint:
+    def test_attribute_bits_summed(self, psm, baremetal):
+        controller = [e for e in psm.packaged_elements
+                      if e.name == "CruiseController"][0]
+        footprint = class_footprint(controller, baremetal)
+        # int16 target (16) + bit enabled (8 min) + ptr actuator (32)
+        # + ptr sensor (32) + state byte (8) = 96 bits = 12 bytes
+        assert footprint.instance_bytes == 12
+        assert footprint.stack_bytes == 0
+
+    def test_wrapper_counts_stack(self, psm, baremetal):
+        wrapper = [e for e in psm.packaged_elements
+                   if e.name == "CruiseController_task"][0]
+        footprint = class_footprint(wrapper, baremetal)
+        assert footprint.stack_bytes == 512       # task engine stack
+
+    def test_channel_counts_queue(self, psm, baremetal):
+        channel = [e for e in psm.packaged_elements
+                   if e.name.endswith("_queue")
+                   or e.name.endswith("_signal")][0]
+        footprint = class_footprint(channel, baremetal)
+        assert footprint.queue_bytes > 0
+
+
+class TestModelFootprint:
+    def test_fits_baremetal_budget(self, psm, baremetal):
+        report = estimate_footprint(psm, baremetal)
+        assert report.budget_bytes == 64 * 1024
+        assert report.fits
+        assert 0 < report.utilization < 1
+        assert "FITS" in report.summary()
+
+    def test_instance_counts_scale(self, psm, baremetal):
+        single = estimate_footprint(psm, baremetal)
+        many = estimate_footprint(
+            psm, baremetal,
+            instances={name: 50 for name in single.classes})
+        assert many.total_bytes == pytest.approx(
+            50 * single.total_bytes, rel=0.01)
+
+    def test_over_budget_detected(self, psm, baremetal):
+        report = estimate_footprint(
+            psm, baremetal,
+            instances={name: 100_000 for name in
+                       estimate_footprint(psm, baremetal).classes})
+        assert not report.fits
+        assert "OVER BUDGET" in report.summary()
+
+    def test_posix_types_are_wider(self, cruise_model, posix, baremetal):
+        posix_psm = PIM_TO_PSM.run(cruise_model.model, posix).primary_root
+        bm_psm = PIM_TO_PSM.run(cruise_model.model,
+                                baremetal).primary_root
+        posix_ctl = class_footprint(
+            [e for e in posix_psm.packaged_elements
+             if e.name == "CruiseController"][0], posix)
+        bm_ctl = class_footprint(
+            [e for e in bm_psm.packaged_elements
+             if e.name == "CruiseController"][0], baremetal)
+        assert posix_ctl.instance_bytes > bm_ctl.instance_bytes

@@ -1,0 +1,202 @@
+"""Tests for the profile machinery and the SPT schedulability profile."""
+
+import math
+
+import pytest
+
+from repro.mof import MInteger, MString
+from repro.profiles import (
+    Profile,
+    ProfileError,
+    SA_SCHEDULABLE,
+    SchedulabilityReport,
+    Stereotype,
+    Task,
+    analyze_model,
+    analyze_tasks,
+    applications_of,
+    has_stereotype,
+    liu_layland_bound,
+    rate_monotonic_priorities,
+    response_time_analysis,
+    stereotypes_of,
+    tasks_from_model,
+    total_utilization,
+    utilization_test,
+)
+from repro.uml import Clazz, Package
+
+
+class TestProfileMachinery:
+    def test_apply_and_query(self, factory):
+        profile = Profile("P")
+        marker = profile.define("Marker", Clazz).tag("weight", MInteger, 1)
+        cls = factory.clazz("C")
+        application = marker.apply(cls, weight=5)
+        assert marker.is_applied_to(cls)
+        assert marker.value_on(cls, "weight") == 5
+        assert application["weight"] == 5
+        assert has_stereotype(cls, "Marker")
+        assert stereotypes_of(cls) == [marker]
+
+    def test_default_tag_values(self, factory):
+        profile = Profile("P2")
+        st = profile.define("S", Clazz).tag("mode", MString, "auto")
+        cls = factory.clazz("C")
+        st.apply(cls)
+        assert st.value_on(cls, "mode") == "auto"
+
+    def test_wrong_metaclass_rejected(self, factory):
+        profile = Profile("P3")
+        st = profile.define("OnlyPackages", Package)
+        cls = factory.clazz("C")
+        with pytest.raises(ProfileError):
+            st.apply(cls)
+
+    def test_bad_tag_type_rejected(self, factory):
+        profile = Profile("P4")
+        st = profile.define("S", Clazz).tag("n", MInteger)
+        with pytest.raises(ProfileError):
+            st.apply(factory.clazz("C"), n="many")
+
+    def test_unknown_tag_rejected(self, factory):
+        profile = Profile("P5")
+        st = profile.define("S", Clazz)
+        with pytest.raises(ProfileError):
+            st.apply(factory.clazz("C"), bogus=1)
+
+    def test_required_tag_enforced(self, factory):
+        profile = Profile("P6")
+        st = profile.define("S", Clazz).tag("must", MInteger,
+                                            required=True)
+        with pytest.raises(ProfileError):
+            st.apply(factory.clazz("C"))
+
+    def test_duplicate_stereotype_name_rejected(self):
+        profile = Profile("P7")
+        profile.define("S", Clazz)
+        with pytest.raises(ProfileError):
+            profile.define("S", Clazz)
+
+    def test_applied_elements_scan(self, factory):
+        profile = Profile("P8")
+        st = profile.define("S", Clazz)
+        one = factory.clazz("One")
+        factory.clazz("Two")
+        st.apply(one)
+        found = profile.applied_elements(factory.model, "S")
+        assert found == [one]
+
+    def test_application_set_validates(self, factory):
+        profile = Profile("P9")
+        st = profile.define("S", Clazz).tag("n", MInteger, 0)
+        application = st.apply(factory.clazz("C"))
+        application.set("n", 9)
+        assert application.get("n") == 9
+        with pytest.raises(ProfileError):
+            application.set("n", "x")
+        with pytest.raises(ProfileError):
+            application.set("zz", 1)
+
+
+class TestTaskModel:
+    def test_defaults_and_validation(self):
+        task = Task("t", period_ms=10, wcet_ms=2)
+        assert task.deadline_ms == 10
+        assert task.utilization == 0.2
+        with pytest.raises(ValueError):
+            Task("bad", period_ms=0, wcet_ms=1)
+        with pytest.raises(ValueError):
+            Task("bad", period_ms=10, wcet_ms=-1)
+
+    def test_rate_monotonic_priorities(self):
+        tasks = [Task("slow", 100, 1), Task("fast", 10, 1),
+                 Task("mid", 50, 1)]
+        rate_monotonic_priorities(tasks)
+        by_name = {t.name: t.priority for t in tasks}
+        assert by_name["fast"] > by_name["mid"] > by_name["slow"]
+
+    def test_explicit_priorities_kept(self):
+        tasks = [Task("a", 10, 1, priority=1), Task("b", 100, 1)]
+        rate_monotonic_priorities(tasks)
+        assert tasks[0].priority == 1       # untouched
+
+    def test_liu_layland_bound(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+        assert liu_layland_bound(2) == pytest.approx(0.8284, abs=1e-3)
+        assert liu_layland_bound(0) == 0.0
+        # monotonically decreasing toward ln 2
+        assert liu_layland_bound(100) > math.log(2) - 1e-9
+
+    def test_utilization_test_trichotomy(self):
+        assert utilization_test([Task("a", 10, 1)]) is True
+        assert utilization_test([Task("a", 10, 9),
+                                 Task("b", 10, 2)]) is False
+        # between bound and 1.0: inconclusive
+        assert utilization_test([Task("a", 10, 4.5),
+                                 Task("b", 10, 4.5)]) is None
+
+
+class TestResponseTimeAnalysis:
+    def test_classic_example(self):
+        """Buttazzo-style example with known response times."""
+        tasks = [Task("t1", period_ms=4, wcet_ms=1),
+                 Task("t2", period_ms=6, wcet_ms=2),
+                 Task("t3", period_ms=12, wcet_ms=3)]
+        analyses = {a.task.name: a for a in response_time_analysis(tasks)}
+        assert analyses["t1"].response_ms == 1
+        assert analyses["t2"].response_ms == 3
+        # t3: 3 + ceil(R/4)*1 + ceil(R/6)*2 -> fixed point 10
+        assert analyses["t3"].response_ms == 10
+        assert all(a.schedulable for a in analyses.values())
+
+    def test_unschedulable_detected(self):
+        tasks = [Task("a", 10, 6), Task("b", 10, 6)]
+        report = analyze_tasks(tasks)
+        assert not report.schedulable
+        assert report.total_utilization == pytest.approx(1.2)
+
+    def test_blocking_term_increases_response(self):
+        free = response_time_analysis(
+            [Task("a", 10, 2), Task("b", 20, 3)])
+        blocked = response_time_analysis(
+            [Task("a", 10, 2, blocking_ms=4), Task("b", 20, 3)])
+        assert blocked[0].response_ms == free[0].response_ms + 4
+
+    def test_deadline_shorter_than_period(self):
+        task = Task("a", period_ms=10, wcet_ms=3, deadline_ms=2)
+        report = analyze_tasks([task])
+        assert not report.schedulable       # R=3 > D=2
+
+    def test_report_accessors(self):
+        report = analyze_tasks([Task("a", 10, 1)])
+        assert report.row("a").schedulable
+        with pytest.raises(KeyError):
+            report.row("zz")
+        assert "SCHEDULABLE" in report.summary()
+
+
+class TestModelIntegration:
+    def test_tasks_from_stereotypes(self, factory):
+        cls = factory.clazz("Pump", is_active=True)
+        SA_SCHEDULABLE.apply(cls, sa_period_ms=50.0, sa_wcet_ms=5.0,
+                             sa_blocking_ms=1.0)
+        tasks = tasks_from_model(factory.model)
+        assert len(tasks) == 1
+        assert tasks[0].name == "Pump"
+        assert tasks[0].blocking_ms == 1.0
+
+    def test_analyze_model_end_to_end(self, factory):
+        for name, period, wcet in (("Fast", 10.0, 2.0),
+                                   ("Slow", 100.0, 30.0)):
+            cls = factory.clazz(name, is_active=True)
+            SA_SCHEDULABLE.apply(cls, sa_period_ms=period,
+                                 sa_wcet_ms=wcet)
+        report = analyze_model(factory.model)
+        assert isinstance(report, SchedulabilityReport)
+        assert report.schedulable
+
+    def test_analyze_model_requires_annotations(self, factory):
+        factory.clazz("Plain")
+        with pytest.raises(ProfileError):
+            analyze_model(factory.model)

@@ -1,0 +1,210 @@
+"""Tests for the QoS/FT, Testing, SysML-lite and ETSI profiles."""
+
+import pytest
+
+from repro.profiles import (
+    FT_REPLICATED,
+    PROTOCOL_LAYER,
+    QOS_OFFERED,
+    QOS_REQUIRED,
+    QoSContract,
+    TestCase,
+    TestContext,
+    Verdict,
+    add_requirement,
+    availability_with_replication,
+    build_pdu,
+    build_protocol_stack,
+    check_contracts,
+    derive,
+    effective_availability,
+    estimate_path_latency_ms,
+    satisfy,
+    stack_layers,
+    traceability_matrix,
+    verify,
+    worst,
+)
+from repro.uml import ModelFactory
+from repro.validation import Collaboration, Scenario
+
+
+class TestQoSContracts:
+    def test_satisfaction(self):
+        offered = QoSContract(latency_ms=5, availability=0.999)
+        required = QoSContract(latency_ms=10, availability=0.99)
+        assert offered.satisfies(required)
+
+    def test_violations_listed(self):
+        offered = QoSContract(latency_ms=20, reliability=0.8)
+        required = QoSContract(latency_ms=10, reliability=0.9,
+                               throughput_ops=100)
+        problems = offered.violations(required)
+        assert len(problems) == 3        # latency, reliability, throughput
+
+    def test_unconstrained_always_ok(self):
+        assert QoSContract().satisfies(QoSContract())
+
+    def test_contract_checks_over_associations(self, factory):
+        client = factory.clazz("Client")
+        server = factory.clazz("Server")
+        QOS_REQUIRED.apply(client, latency_ms=10.0)
+        QOS_OFFERED.apply(server, latency_ms=50.0)     # too slow
+        factory.associate(client, server, end_b="server")
+        checks = check_contracts(factory.model)
+        assert len(checks) == 1
+        assert not checks[0].passed
+        assert "latency" in checks[0].problems[0]
+
+    def test_availability_hot_replication(self):
+        assert availability_with_replication(0.9, 1) == pytest.approx(0.9)
+        assert availability_with_replication(0.9, 3, "hot") == \
+            pytest.approx(1 - 0.1 ** 3)
+
+    def test_availability_styles_ordered(self):
+        hot = availability_with_replication(0.9, 2, "hot")
+        warm = availability_with_replication(0.9, 2, "warm")
+        cold = availability_with_replication(0.9, 2, "cold")
+        assert hot > warm > cold > 0.9
+
+    def test_availability_validation(self):
+        with pytest.raises(ValueError):
+            availability_with_replication(1.5, 2)
+        with pytest.raises(ValueError):
+            availability_with_replication(0.9, 0)
+        with pytest.raises(ValueError):
+            availability_with_replication(0.9, 2, "lukewarm")
+
+    def test_effective_availability_via_stereotypes(self, factory):
+        service = factory.clazz("Svc")
+        QOS_OFFERED.apply(service, availability=0.9)
+        FT_REPLICATED.apply(service, replicas=2, style="hot")
+        assert effective_availability(service) == pytest.approx(0.99)
+
+    def test_path_latency_estimate(self, posix):
+        latency = estimate_path_latency_ms(posix, hops=4,
+                                           per_hop_processing_ms=0.1)
+        assert latency == pytest.approx(4 * (0.015 + 0.1))
+
+
+class TestTestingProfile:
+    def test_verdict_lattice(self):
+        assert worst([Verdict.PASS, Verdict.FAIL]) is Verdict.FAIL
+        assert worst([Verdict.PASS, Verdict.ERROR]) is Verdict.ERROR
+        assert worst([Verdict.PASS]) is Verdict.PASS
+        assert worst([]) is Verdict.INCONCLUSIVE
+
+    def test_context_runs_fresh_suts(self, cruise_collaboration):
+        context = TestContext("CruiseTests", cruise_collaboration)
+        ok = Scenario("ok", [("ctl", "act", "apply")],
+                      stimuli=[("ctl", "engage")])
+        context.add_scenario("engage-works", ok)
+        context.add_scenario(
+            "engage-works-again", ok,
+            post_condition=lambda c: c.attribute("act", "level") == 1)
+        report = context.run_all()
+        assert report.verdict is Verdict.PASS
+        assert report.counts() == {"pass": 2}
+        assert "PASS" in report.summary()
+
+    def test_failed_scenario_gives_fail(self, cruise_collaboration):
+        context = TestContext("T", cruise_collaboration)
+        context.add_scenario("bad", Scenario(
+            "bad", [("ctl", "act", "explode")],
+            stimuli=[("ctl", "engage")]))
+        report = context.run_all()
+        assert report.verdict is Verdict.FAIL
+
+    def test_post_condition_fail(self, cruise_collaboration):
+        context = TestContext("T", cruise_collaboration)
+        context.add_scenario(
+            "post", Scenario("s", [], stimuli=[("ctl", "engage")]),
+            post_condition=lambda c: c.attribute("act", "level") == 99)
+        assert context.run_all().verdict is Verdict.FAIL
+
+    def test_crashing_post_condition_gives_error(self,
+                                                 cruise_collaboration):
+        context = TestContext("T", cruise_collaboration)
+        context.add_scenario(
+            "boom", Scenario("s", []),
+            post_condition=lambda c: 1 / 0)
+        assert context.run_all().verdict is Verdict.ERROR
+
+
+class TestSysml:
+    def test_traceability_full_coverage(self, factory):
+        pkg = factory.package("reqs")
+        requirement = add_requirement(pkg, "FastBoot", "R1",
+                                      "boots in 2s", risk="high")
+        impl = factory.clazz("BootLoader")
+        test = factory.clazz("BootTest")
+        satisfy(pkg, impl, requirement)
+        verify(pkg, test, requirement)
+        matrix = traceability_matrix(factory.model)
+        assert matrix.satisfaction_coverage == 1.0
+        assert matrix.verification_coverage == 1.0
+        row = matrix.row("R1")
+        assert row.satisfied_by == ["BootLoader"]
+        assert row.verified_by == ["BootTest"]
+
+    def test_uncovered_requirements_reported(self, factory):
+        pkg = factory.package("reqs")
+        add_requirement(pkg, "Orphan", "R9", "nobody implements this")
+        matrix = traceability_matrix(factory.model)
+        assert matrix.satisfaction_coverage == 0.0
+        assert matrix.unsatisfied()[0].req_id == "R9"
+        assert "satisfied=0%" in matrix.summary()
+
+    def test_derive_links(self, factory):
+        pkg = factory.package("reqs")
+        parent = add_requirement(pkg, "System", "R1", "top level")
+        child = add_requirement(pkg, "Subsystem", "R1.1", "derived")
+        derive(pkg, child, parent)
+        matrix = traceability_matrix(factory.model)
+        assert matrix.row("R1.1").derived_from == ["System"]
+
+
+class TestEtsiStack:
+    def test_stack_construction(self):
+        factory = ModelFactory("proto")
+        layers = build_protocol_stack(factory, ["App", "Tp", "Mac"])
+        assert [l.name for l in layers] == ["App", "Tp", "Mac"]
+        assert [l.name for l in stack_layers(factory.model)] == \
+            ["App", "Tp", "Mac"]
+        assert PROTOCOL_LAYER.value_on(layers[0], "layer_index") == 3
+        # adjacent layers are linked both ways
+        assert layers[0].attribute("lower").type is layers[1]
+        assert layers[1].attribute("upper").type is layers[0]
+
+    def test_stack_needs_layers(self):
+        factory = ModelFactory("proto")
+        with pytest.raises(ValueError):
+            build_protocol_stack(factory, [])
+
+    def test_stack_executes_handshake(self):
+        factory = ModelFactory("proto")
+        layers = build_protocol_stack(factory, ["App", "Tp", "Mac"])
+        collab = Collaboration("stack")
+        collab.create_object("app", layers[0])
+        collab.create_object("tp", layers[1])
+        collab.create_object("mac", layers[2])
+        collab.link("app", "lower", "tp")
+        collab.link("tp", "upper", "app")
+        collab.link("tp", "lower", "mac")
+        collab.link("mac", "upper", "tp")
+        collab.start()
+        collab.send("app", "tx_request")
+        collab.run()
+        assert collab.attribute("mac", "tx_count") == 1
+        assert collab.attribute("app", "rx_count") == 1
+        messages = collab.messages()
+        assert ("tp", "mac", "tx_request") in messages
+        assert ("tp", "app", "tx_confirm") in messages
+
+    def test_pdu_builder(self):
+        factory = ModelFactory("proto")
+        pdu = build_pdu(factory, "DataFrame", header_bytes=8,
+                        fields=[("seq", "Integer"), ("payload", "String")])
+        assert pdu.attribute("seq").type.name == "Integer"
+        from repro.profiles import PDU
+        assert PDU.value_on(pdu, "header_bytes") == 8

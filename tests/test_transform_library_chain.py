@@ -1,0 +1,206 @@
+"""Tests for the transformation library (clone, flattening), chains,
+gates and refinement checking."""
+
+import pytest
+
+from repro.mof import validate_tree
+from repro.transform import (
+    GateClosedError,
+    GateVerdict,
+    TransformationChain,
+    TransformError,
+    check_refinement,
+    clone_transformation,
+    flatten_state_machine,
+    refinement_completeness_ratio,
+    state_machine_to_table,
+)
+from repro.uml import Clazz, StateMachine, UmlElement
+
+
+class TestClone:
+    def test_clone_is_deep_and_detached(self, cruise_model):
+        transformation = clone_transformation(UmlElement)
+        result = transformation.run(cruise_model.model)
+        copy = result.primary_root
+        assert copy is not cruise_model.model
+        assert copy.name == cruise_model.model.name
+        original_size = 1 + sum(1 for _ in cruise_model.model.all_contents())
+        copy_size = 1 + sum(1 for _ in copy.all_contents())
+        assert copy_size == original_size
+        assert validate_tree(copy).ok
+
+    def test_clone_remaps_cross_references(self, cruise_model):
+        result = clone_transformation(UmlElement).run(cruise_model.model)
+        copy = result.primary_root
+        controller = [c for c in copy.all_contents()
+                      if getattr(c, "name", "") == "CruiseController"][0]
+        target_type = controller.attribute("actuator").type
+        assert target_type.name == "ThrottleActuator"
+        assert target_type.root() is copy       # not the original model
+
+    def test_clone_is_syntactic(self):
+        transformation = clone_transformation(UmlElement)
+        assert transformation.is_syntactic
+        assert transformation.abstraction_delta == 0
+
+    def test_mutating_clone_leaves_original(self, cruise_model):
+        result = clone_transformation(UmlElement).run(cruise_model.model)
+        copy = result.primary_root
+        copy.name = "changed"
+        assert cruise_model.model.name == "cruise"
+
+
+class TestFlattening:
+    @pytest.fixture
+    def hierarchical(self):
+        machine = StateMachine(name="hsm")
+        region = machine.main_region()
+        initial = region.add_initial()
+        off = region.add_state("Off")
+        on = region.add_state("On", entry="p := 1", exit="p := 0")
+        inner = on.add_region("inner")
+        inner_initial = inner.add_initial()
+        low = inner.add_state("Low", entry="v := 1")
+        high = inner.add_state("High", entry="v := 2", exit="cool()")
+        inner.add_transition(inner_initial, low)
+        inner.add_transition(low, high, trigger="up")
+        inner.add_transition(high, low, trigger="down")
+        region.add_transition(initial, off)
+        region.add_transition(off, on, trigger="power")
+        region.add_transition(on, off, trigger="kill", effect="log()")
+        return machine
+
+    def test_flat_state_names(self, hierarchical):
+        flat = flatten_state_machine(hierarchical)
+        names = {s.name for s in flat.main_region().states()}
+        assert names == {"Off", "On_Low", "On_High"}
+
+    def test_composite_exit_replicated_to_leaves(self, hierarchical):
+        flat = flatten_state_machine(hierarchical)
+        rows = state_machine_to_table(flat)
+        kills = [r for r in rows if r.trigger == "kill"]
+        assert {r.source for r in kills} == {"On_Low", "On_High"}
+        assert all(r.target == "Off" for r in kills)
+        # leaving On from High runs High's exit then On's exit then effect
+        high_kill = [r for r in kills if r.source == "On_High"][0]
+        assert high_kill.effect.index("cool()") \
+            < high_kill.effect.index("p := 0") \
+            < high_kill.effect.index("log()")
+
+    def test_entering_composite_descends_to_initial_leaf(self,
+                                                         hierarchical):
+        flat = flatten_state_machine(hierarchical)
+        rows = state_machine_to_table(flat)
+        power = [r for r in rows if r.trigger == "power"][0]
+        assert power.target == "On_Low"
+        assert power.effect.index("p := 1") < power.effect.index("v := 1")
+
+    def test_inner_transitions_keep_local_actions(self, hierarchical):
+        flat = flatten_state_machine(hierarchical)
+        rows = state_machine_to_table(flat)
+        up = [r for r in rows if r.trigger == "up"][0]
+        assert up.source == "On_Low" and up.target == "On_High"
+        assert "v := 2" in up.effect
+        assert "p := 1" not in up.effect        # On boundary not crossed
+
+    def test_events_preserved(self, hierarchical):
+        flat = flatten_state_machine(hierarchical)
+        assert flat.events() == hierarchical.events()
+
+    def test_flat_machine_passthrough(self):
+        machine = StateMachine(name="flat")
+        region = machine.main_region()
+        initial = region.add_initial()
+        a = region.add_state("A")
+        region.add_transition(initial, a)
+        flat = flatten_state_machine(machine)
+        assert {s.name for s in flat.main_region().states()} == {"A"}
+
+    def test_missing_initial_rejected(self):
+        machine = StateMachine(name="broken")
+        machine.main_region().add_state("A")
+        with pytest.raises(TransformError):
+            flatten_state_machine(machine)
+
+    def test_final_state_lifted(self):
+        machine = StateMachine(name="fin")
+        region = machine.main_region()
+        initial = region.add_initial()
+        a = region.add_state("A")
+        final = region.add_final()
+        region.add_transition(initial, a)
+        region.add_transition(a, final, trigger="done")
+        flat = flatten_state_machine(machine)
+        rows = state_machine_to_table(flat)
+        assert any(r.trigger == "done" and r.target == "final"
+                   for r in rows)
+
+
+class TestChainsAndGates:
+    def test_chain_runs_in_order(self, cruise_model):
+        chain = TransformationChain("two-copies")
+        chain.add_step(clone_transformation(UmlElement, "copy1"))
+        chain.add_step(clone_transformation(UmlElement, "copy2"))
+        outcome = chain.run(cruise_model.model)
+        assert outcome.completed
+        assert len(outcome.records) == 2
+        assert outcome.final_roots[0].name == "cruise"
+
+    def test_gate_blocks_when_enforced(self, cruise_model):
+        chain = TransformationChain("gated")
+        chain.add_step(clone_transformation(UmlElement),
+                       gate=lambda roots: GateVerdict(False, ["nope"]))
+        with pytest.raises(GateClosedError):
+            chain.run(cruise_model.model)
+
+    def test_gate_recorded_when_unenforced(self, cruise_model):
+        chain = TransformationChain("gated")
+        chain.add_step(clone_transformation(UmlElement),
+                       gate=lambda roots: GateVerdict(False, ["nope"]))
+        outcome = chain.run(cruise_model.model, enforce_gates=False)
+        assert outcome.completed
+        assert outcome.records[0].gate_verdict is not None
+        assert not outcome.records[0].gate_verdict.passed
+
+    def test_abstraction_delta_sums(self):
+        chain = TransformationChain("c")
+        chain.add_step(clone_transformation(UmlElement))     # delta 0
+        from repro.transform import Transformation
+        chain.add_step(Transformation("down", [], abstraction_delta=-1))
+        assert chain.total_abstraction_delta() == -1
+
+
+class TestRefinement:
+    def test_clone_is_complete_refinement(self, cruise_model):
+        result = clone_transformation(UmlElement).run(cruise_model.model)
+        report = check_refinement(cruise_model.model, result,
+                                  required_types=[Clazz])
+        assert report.ok, str(report)
+        assert refinement_completeness_ratio(
+            cruise_model.model, result.trace, [Clazz]) == 1.0
+
+    def test_incomplete_refinement_detected(self, cruise_model):
+        from repro.transform import Transformation, rule
+
+        @rule(Clazz, guard="name = 'SpeedSensor'")
+        def partial(source, ctx):
+            return Clazz(name=source.name)
+        result = Transformation("partial", [partial]).run(
+            cruise_model.model)
+        report = check_refinement(cruise_model.model, result,
+                                  required_types=[Clazz])
+        assert not report.ok
+        ratio = refinement_completeness_ratio(
+            cruise_model.model, result.trace, [Clazz])
+        assert 0 < ratio < 1
+
+    def test_name_preservation_warning(self, cruise_model):
+        from repro.transform import Transformation, rule
+
+        @rule(Clazz)
+        def rename(source, ctx):
+            return Clazz(name="xyz")
+        result = Transformation("rename", [rename]).run(cruise_model.model)
+        report = check_refinement(cruise_model.model, result)
+        assert any(d.code == "refine-name" for d in report.warnings)

@@ -1,0 +1,97 @@
+"""Tests for the classic UML→relational MDA transformation."""
+
+import pytest
+
+from repro.mof import validate_tree
+from repro.transform import schema_to_sql, uml_to_relational
+
+
+@pytest.fixture
+def shop(factory):
+    customer = factory.clazz("Customer", attrs={"name": "String",
+                                                "age": "Integer"})
+    order = factory.clazz("Order", attrs={"total": "Real",
+                                          "paid": "Boolean"})
+    item = factory.clazz("Item", attrs={"sku": "String"})
+    factory.associate(customer, order, end_b="orders", b_upper=-1)
+    factory.associate(order, customer, end_b="buyer",
+                      b_lower=1, b_upper=1)
+    factory.associate(order, item, end_b="items", b_upper=-1)
+    vip = factory.clazz("VipCustomer", supers=[customer])
+    return factory
+
+
+@pytest.fixture
+def schema(shop):
+    result = uml_to_relational().run(shop.model)
+    return result.primary_root
+
+
+class TestMapping:
+    def test_schema_root(self, schema):
+        assert schema.meta.name == "Schema"
+        assert schema.name == "m"
+        assert validate_tree(schema).ok
+
+    def test_class_to_table_with_pk(self, schema):
+        names = {t.name for t in schema.tables}
+        assert {"customer", "order", "item", "vipcustomer"} <= names
+        customer = [t for t in schema.tables if t.name == "customer"][0]
+        pk = [c for c in customer.columns if c.is_primary]
+        assert len(pk) == 1 and pk[0].name == "id"
+
+    def test_attribute_types_mapped(self, schema):
+        customer = [t for t in schema.tables if t.name == "customer"][0]
+        types = {c.name: c.sql_type for c in customer.columns}
+        assert types["name"] == "VARCHAR(255)"
+        assert types["age"] == "INTEGER"
+        order = [t for t in schema.tables if t.name == "order"][0]
+        types = {c.name: c.sql_type for c in order.columns}
+        assert types["total"] == "DOUBLE PRECISION"
+        assert types["paid"] == "BOOLEAN"
+
+    def test_single_end_becomes_fk(self, schema):
+        order = [t for t in schema.tables if t.name == "order"][0]
+        fk = [f for f in order.foreign_keys
+              if f.name == "fk_order_buyer"]
+        assert len(fk) == 1
+        assert fk[0].references.name == "customer"
+        assert fk[0].column.name == "buyer_id"
+        assert not fk[0].column.is_nullable     # lower bound 1
+
+    def test_many_end_becomes_join_table(self, schema):
+        join = [t for t in schema.tables
+                if t.name == "customer_orders"]
+        assert len(join) == 1
+        referenced = {f.references.name for f in join[0].foreign_keys}
+        assert referenced == {"customer", "order"}
+
+    def test_inheritance_becomes_parent_fk(self, schema):
+        vip = [t for t in schema.tables if t.name == "vipcustomer"][0]
+        fk = [f for f in vip.foreign_keys
+              if f.references.name == "customer"]
+        assert len(fk) == 1
+
+    def test_transformation_is_semantic(self):
+        transformation = uml_to_relational()
+        assert transformation.is_semantic
+
+
+class TestSqlPrinter:
+    def test_ddl_shape(self, schema):
+        sql = schema_to_sql(schema)
+        assert "CREATE TABLE customer (" in sql
+        assert "id INTEGER NOT NULL PRIMARY KEY" in sql
+        assert ("CONSTRAINT fk_order_buyer FOREIGN KEY (buyer_id) "
+                "REFERENCES customer(id)") in sql
+        assert sql.count("CREATE TABLE") == len(schema.tables)
+
+    def test_nullability_follows_lower_bound(self, shop):
+        # factory attributes default to lower=1 -> NOT NULL
+        nickname_owner = shop.model.member("Customer")
+        shop.attribute(nickname_owner, "nickname", "String", lower=0)
+        schema = uml_to_relational().run(shop.model).primary_root
+        sql = schema_to_sql(schema)
+        assert "name VARCHAR(255) NOT NULL" in sql
+        lines = [l.strip().rstrip(",") for l in sql.splitlines()]
+        assert "nickname VARCHAR(255)" in lines

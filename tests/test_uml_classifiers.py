@@ -1,0 +1,113 @@
+"""Tests for UML classifiers, generalization, interfaces, enumerations."""
+
+import pytest
+
+from repro.uml import (
+    Clazz,
+    Enumeration,
+    Interface,
+    OpaqueBehavior,
+    Operation,
+    Property,
+    StateMachine,
+)
+
+
+class TestGeneralization:
+    def test_add_super_and_supers(self, factory):
+        animal = factory.clazz("Animal", is_abstract=True)
+        dog = factory.clazz("Dog", supers=[animal])
+        assert dog.supers() == [animal]
+        assert animal.specializations() == [dog]
+
+    def test_all_supers_transitive(self, factory):
+        a = factory.clazz("A")
+        b = factory.clazz("B", supers=[a])
+        c = factory.clazz("C", supers=[b])
+        assert c.all_supers() == [b, a]
+        assert c.conforms_to(a)
+        assert not a.conforms_to(c)
+
+    def test_inheritance_depth(self, factory):
+        a = factory.clazz("A")
+        b = factory.clazz("B", supers=[a])
+        c = factory.clazz("C", supers=[b])
+        assert a.inheritance_depth() == 0
+        assert c.inheritance_depth() == 2
+
+    def test_diamond_supers_deduplicated(self, factory):
+        top = factory.clazz("Top")
+        left = factory.clazz("Left", supers=[top])
+        right = factory.clazz("Right", supers=[top])
+        bottom = factory.clazz("Bottom", supers=[left, right])
+        assert bottom.all_supers().count(top) == 1
+
+
+class TestFeatures:
+    def test_attribute_lookup_includes_inherited(self, factory):
+        base = factory.clazz("Base", attrs={"id": "Integer"})
+        derived = factory.clazz("Derived", attrs={"extra": "String"},
+                                supers=[base])
+        assert derived.attribute("id") is not None
+        assert derived.attribute("extra") is not None
+        assert [p.name for p in derived.all_attributes()] == ["id", "extra"]
+
+    def test_operation_lookup(self, factory):
+        cls = factory.clazz("Svc")
+        factory.operation(cls, "run", returns="Integer")
+        op = cls.operation("run")
+        assert op is not None
+        assert op.return_type().name == "Integer"
+        assert op.signature() == "run() -> Integer"
+
+    def test_operation_signature_with_params(self, factory):
+        cls = factory.clazz("Svc")
+        op = factory.operation(cls, "add",
+                               params={"a": "Integer", "b": "Integer"},
+                               returns="Integer")
+        assert op.signature() == "add(a: Integer, b: Integer) -> Integer"
+        assert len(op.in_parameters()) == 2
+
+
+class TestInterfaces:
+    def test_realization(self, factory):
+        iface = factory.interface("Closeable", operations=["close"])
+        cls = factory.clazz("File")
+        cls.realize(iface)
+        assert cls.realized_interfaces() == [iface]
+
+    def test_interface_operations(self, factory):
+        iface = factory.interface("Io", operations=["read", "write"])
+        assert [op.name for op in iface.all_operations()] == ["read",
+                                                              "write"]
+
+
+class TestEnumerations:
+    def test_literals(self, factory):
+        enum = factory.enumeration("Color", ["red", "green", "blue"])
+        assert enum.literal_names() == ["red", "green", "blue"]
+        assert enum.literals[0].container is enum
+
+
+class TestBehaviors:
+    def test_state_machine_selection(self, factory):
+        cls = factory.clazz("Robot")
+        assert cls.state_machine() is None
+        opaque = OpaqueBehavior(name="noop", body="x := 1")
+        cls.owned_behaviors.append(opaque)
+        assert cls.state_machine() is None      # opaque is not a machine
+        machine = StateMachine(name="RobotSM")
+        cls.owned_behaviors.append(machine)
+        assert cls.state_machine() is machine
+        # classifier_behavior takes precedence
+        machine2 = StateMachine(name="Alt")
+        cls.owned_behaviors.append(machine2)
+        cls.classifier_behavior = machine2
+        assert cls.state_machine() is machine2
+
+
+class TestQualifiedNames:
+    def test_qualified_name_walks_packages(self, factory):
+        pkg = factory.package("inner")
+        cls = factory.clazz("Deep", package=pkg)
+        assert cls.qualified_name == "m::inner::Deep"

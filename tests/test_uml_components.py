@@ -1,0 +1,89 @@
+"""Tests for components, ports, connectors and deployment."""
+
+import pytest
+
+from repro.uml import (
+    Artifact,
+    Component,
+    Connector,
+    Deployment,
+    ExecutionNode,
+    Interface,
+    Port,
+)
+
+
+@pytest.fixture
+def component_pair(factory):
+    provided = factory.interface("DataFeed", operations=["subscribe"])
+    producer = Component(name="Producer")
+    consumer = Component(name="Consumer")
+    factory.model.add(producer)
+    factory.model.add(consumer)
+    out_port = producer.add_port("out", provided=provided)
+    in_port = consumer.add_port("in", required=provided)
+    return producer, consumer, out_port, in_port, provided
+
+
+class TestComponents:
+    def test_ports_and_interfaces(self, component_pair):
+        producer, consumer, out_port, in_port, provided = component_pair
+        assert producer.provided_interfaces() == [provided]
+        assert consumer.required_interfaces() == [provided]
+        assert out_port.container is producer
+
+    def test_connector_between_ports(self, component_pair, factory):
+        _, _, out_port, in_port, _ = component_pair
+        connector = Connector.between(out_port, in_port, name="wire")
+        factory.model.add(connector)
+        assert connector.ports() == [out_port, in_port]
+        assert len(connector.ends) == 2
+
+    def test_component_is_class(self, component_pair):
+        producer, *_ = component_pair
+        from repro.uml import Clazz
+        assert isinstance(producer, Clazz)
+
+    def test_realizing_classes(self, component_pair, factory):
+        producer, *_ = component_pair
+        impl = factory.clazz("ProducerImpl")
+        producer.realizing_classes.append(impl)
+        assert impl in producer.realizing_classes
+
+
+class TestDeployment:
+    def test_artifact_on_node(self, factory):
+        node = ExecutionNode(name="ecu", memory_kb=512, is_real_time=True)
+        artifact = Artifact(name="fw", file_name="firmware.bin")
+        factory.model.add(node)
+        factory.model.add(artifact)
+        node.deploy(artifact)
+        assert artifact in node.deployed_artifacts
+        assert node.is_real_time
+
+    def test_nested_nodes(self, factory):
+        board = ExecutionNode(name="board")
+        core0 = ExecutionNode(name="core0")
+        core1 = ExecutionNode(name="core1")
+        factory.model.add(board)
+        board.nested_nodes.extend([core0, core1])
+        assert core0.container is board
+
+    def test_deployment_record(self, factory):
+        node = ExecutionNode(name="host")
+        artifact = Artifact(name="bin")
+        deployment = Deployment(name="d", location=node,
+                                deployed_artifact=artifact)
+        factory.model.add(node)
+        factory.model.add(artifact)
+        factory.model.add(deployment)
+        assert deployment.location is node
+        assert deployment.deployed_artifact is artifact
+
+    def test_artifact_manifests_component(self, factory):
+        component = Component(name="Svc")
+        artifact = Artifact(name="svc.so")
+        factory.model.add(component)
+        factory.model.add(artifact)
+        artifact.manifested_components.append(component)
+        assert component in artifact.manifested_components

@@ -1,0 +1,108 @@
+"""Tests for DOT diagram export."""
+
+import pytest
+
+from repro.uml import (
+    Activity,
+    activity_diagram,
+    class_diagram,
+    statemachine_diagram,
+)
+
+
+def balanced(text):
+    return text.count("{") == text.count("}")
+
+
+class TestClassDiagram:
+    def test_contains_all_classifiers(self, cruise_model):
+        dot = class_diagram(cruise_model.model)
+        assert dot.startswith('digraph "cruise"')
+        for name in ("CruiseController", "SpeedSensor",
+                     "ThrottleActuator"):
+            assert name in dot
+        assert balanced(dot)
+
+    def test_attributes_and_types_shown(self, cruise_model):
+        dot = class_diagram(cruise_model.model)
+        assert "target: Integer" in dot
+        assert "enabled: Boolean" in dot
+
+    def test_generalization_arrow(self, factory):
+        base = factory.clazz("Base")
+        factory.clazz("Derived", supers=[base])
+        dot = class_diagram(factory.model)
+        assert "arrowhead=onormal" in dot
+
+    def test_association_edges_labelled(self, cruise_model):
+        dot = class_diagram(cruise_model.model)
+        assert 'label="measures"' in dot
+        assert 'label="drives"' in dot
+
+    def test_interface_and_enum_stereotypes(self, factory):
+        factory.interface("Svc", operations=["go"])
+        factory.enumeration("Mode", ["a", "b"])
+        dot = class_diagram(factory.model)
+        assert "«interface»" in dot
+        assert "«enumeration»" in dot
+
+    def test_members_can_be_hidden(self, cruise_model):
+        dot = class_diagram(cruise_model.model, show_members=False)
+        assert "target: Integer" not in dot
+
+
+class TestStateMachineDiagram:
+    def test_shapes_and_transitions(self, cruise_model):
+        controller = cruise_model.model.member("CruiseController")
+        dot = statemachine_diagram(controller.state_machine())
+        assert "shape=point" in dot          # initial
+        assert "style=rounded" in dot        # states
+        assert 'label="engage' in dot
+        assert balanced(dot)
+
+    def test_guard_in_label(self, cruise_model):
+        controller = cruise_model.model.member("CruiseController")
+        dot = statemachine_diagram(controller.state_machine())
+        assert "[enabled = true]" in dot
+
+    def test_nested_regions_rendered(self):
+        from repro.uml import StateMachine
+        machine = StateMachine(name="hsm")
+        region = machine.main_region()
+        initial = region.add_initial()
+        outer = region.add_state("Outer")
+        inner = outer.add_region("in")
+        inner_initial = inner.add_initial()
+        sub = inner.add_state("Sub")
+        inner.add_transition(inner_initial, sub)
+        region.add_transition(initial, outer)
+        dot = statemachine_diagram(machine)
+        assert "Sub" in dot and "Outer" in dot
+
+
+class TestActivityDiagram:
+    def test_all_node_kinds(self):
+        activity = Activity(name="act")
+        start = activity.add_initial()
+        fork = activity.add_fork()
+        a = activity.add_action("work", body="x := 1")
+        decision = activity.add_decision()
+        merge = activity.add_merge()
+        join = activity.add_join()
+        flow_final = activity.add_flow_final()
+        end = activity.add_final()
+        activity.flow(start, fork)
+        activity.flow(fork, a)
+        activity.flow(fork, flow_final)
+        activity.flow(a, decision)
+        activity.flow(decision, merge, guard="x > 0")
+        activity.flow(decision, merge, guard="else")
+        activity.flow(merge, join)
+        activity.flow(a, join)
+        activity.flow(join, end)
+        dot = activity_diagram(activity)
+        assert "shape=diamond" in dot
+        assert "fillcolor=black" in dot       # fork/join bars
+        assert "[x > 0]" in dot
+        assert "work" in dot and "x := 1" in dot
+        assert balanced(dot)

@@ -1,0 +1,144 @@
+"""Tests for the model factory, associations and relationship semantics."""
+
+import pytest
+
+from repro.uml import (
+    Association,
+    Clazz,
+    Dependency,
+    Package,
+    PrimitiveDataType,
+    Property,
+    Refinement,
+    UmlModel,
+    Usage,
+)
+
+
+class TestFactoryBasics:
+    def test_primitive_types_attached(self, factory):
+        assert factory.string.name == "String"
+        assert factory.integer.name == "Integer"
+        assert factory.real.name == "Real"
+        assert factory.boolean.name == "Boolean"
+        assert isinstance(factory.string, PrimitiveDataType)
+
+    def test_type_resolution_by_name(self, factory):
+        cls = factory.clazz("C", attrs={"x": "Integer"})
+        assert cls.attribute("x").type is factory.integer
+
+    def test_unknown_type_raises(self, factory):
+        with pytest.raises(KeyError):
+            factory.clazz("C", attrs={"x": "Quaternion"})
+
+    def test_nested_packages(self, factory):
+        outer = factory.package("outer")
+        inner = factory.package("inner", parent=outer)
+        cls = factory.clazz("X", package=inner)
+        assert cls.qualified_name == "m::outer::inner::X"
+        assert outer.member("inner") is inner
+
+    def test_members_of_type(self, factory):
+        factory.clazz("A")
+        factory.clazz("B")
+        factory.package("p")
+        classes = factory.model.members_of_type(Clazz)
+        assert {c.name for c in classes} == {"A", "B"}
+
+    def test_attribute_with_default(self, factory):
+        cls = factory.clazz("C")
+        prop = factory.attribute(cls, "retries", "Integer", default="3")
+        assert prop.default_value == "3"
+
+
+class TestAssociations:
+    def test_navigable_end_owned_by_source(self, factory):
+        a = factory.clazz("A")
+        b = factory.clazz("B")
+        assoc = factory.associate(a, b, end_b="bee")
+        end = a.attribute("bee")
+        assert end is not None
+        assert end.association is assoc
+        assert end.is_association_end
+        # non-navigable end owned by the association
+        assert len(assoc.owned_ends) == 1
+        assert assoc.owned_ends[0].type is a
+
+    def test_bidirectional_association(self, factory):
+        a = factory.clazz("A")
+        b = factory.clazz("B")
+        assoc = factory.associate(a, b, end_b="bee", end_a="ay",
+                                  navigable_b_to_a=True)
+        assert b.attribute("ay").type is a
+        assert len(assoc.owned_ends) == 0
+        assert len(assoc.member_ends) == 2
+
+    def test_opposite_end(self, factory):
+        a = factory.clazz("A")
+        b = factory.clazz("B")
+        factory.associate(a, b, end_b="bee", end_a="ay",
+                          navigable_b_to_a=True)
+        end = a.attribute("bee")
+        assert end.opposite_end().name == "ay"
+
+    def test_composite_aggregation(self, factory):
+        whole = factory.clazz("Whole")
+        part = factory.clazz("Part")
+        factory.associate(whole, part, end_b="parts", composite_a=True,
+                          b_upper=-1)
+        end = whole.attribute("parts")
+        assert end.is_composite
+        assert end.is_many
+        assert end.multiplicity_str() == "0..*"
+
+    def test_association_end_queries(self, factory):
+        a = factory.clazz("A")
+        b = factory.clazz("B")
+        assoc = factory.associate(a, b, end_b="bee")
+        assert assoc.end_for(b).name == "bee"
+        assert assoc.other_end(a).type is b
+        assert set(assoc.classifiers()) == {a, b}
+
+    def test_self_association(self, factory):
+        node = factory.clazz("Node")
+        assoc = factory.associate(node, node, end_b="next", end_a="prev")
+        assert assoc.other_end(node) is not None
+        assert node.attribute("next").type is node
+
+    def test_member_ends_capped_at_two(self, factory):
+        a = factory.clazz("A")
+        b = factory.clazz("B")
+        assoc = factory.associate(a, b)
+        from repro.mof import MultiplicityError
+        with pytest.raises(MultiplicityError):
+            assoc.member_ends.append(Property(name="third", type=a))
+
+
+class TestDependencies:
+    def test_refinement_is_abstraction(self, factory):
+        pim_cls = factory.clazz("Order")
+        psm_cls = factory.clazz("OrderImpl")
+        refinement = Refinement(name="r", client=psm_cls,
+                                supplier=pim_cls, mapping="pim2psm")
+        factory.model.add(refinement)
+        assert isinstance(refinement, Dependency)
+        assert refinement.mapping == "pim2psm"
+
+    def test_usage(self, factory):
+        a = factory.clazz("A")
+        b = factory.clazz("B")
+        usage = Usage(name="u", client=a, supplier=b)
+        factory.model.add(usage)
+        assert usage.client is a and usage.supplier is b
+
+
+class TestModelRoot:
+    def test_model_is_package(self, factory):
+        assert isinstance(factory.model, UmlModel)
+        assert isinstance(factory.model, Package)
+
+    def test_all_members_traverses(self, factory):
+        pkg = factory.package("p")
+        cls = factory.clazz("C", package=pkg)
+        members = list(factory.model.all_members())
+        assert cls in members and pkg in members

@@ -1,0 +1,110 @@
+"""Tests for the state machine metamodel."""
+
+import pytest
+
+from repro.uml import FinalState, Pseudostate, Region, State, StateMachine
+
+
+@pytest.fixture
+def traffic_light():
+    machine = StateMachine(name="Light")
+    region = machine.main_region()
+    initial = region.add_initial()
+    red = region.add_state("Red", entry="stop := true")
+    green = region.add_state("Green", exit="log()")
+    yellow = region.add_state("Yellow")
+    region.add_transition(initial, red)
+    region.add_transition(red, green, trigger="go")
+    region.add_transition(green, yellow, trigger="caution")
+    region.add_transition(yellow, red, trigger="stop")
+    return machine, region, red, green, yellow
+
+
+class TestStructure:
+    def test_main_region_created_on_demand(self):
+        machine = StateMachine(name="m")
+        region = machine.main_region()
+        assert machine.regions[0] is region
+        assert machine.main_region() is region      # idempotent
+
+    def test_vertices_and_transitions(self, traffic_light):
+        machine, region, red, green, yellow = traffic_light
+        names = {v.name for v in machine.all_vertices()}
+        assert {"Red", "Green", "Yellow", "initial"} <= names
+        assert len(machine.all_transitions()) == 4
+
+    def test_outgoing_incoming(self, traffic_light):
+        _, _, red, green, _ = traffic_light
+        assert [t.target.name for t in red.outgoing()] == ["Green"]
+        assert [t.source.name for t in red.incoming()] == ["initial",
+                                                           "Yellow"]
+
+    def test_events_sorted_unique(self, traffic_light):
+        machine, *_ = traffic_light
+        assert machine.events() == ["caution", "go", "stop"]
+
+    def test_find_state(self, traffic_light):
+        machine, _, red, *_ = traffic_light
+        assert machine.find_state("Red") is red
+        assert machine.find_state("Blue") is None
+
+    def test_initial_pseudostate(self, traffic_light):
+        _, region, *_ = traffic_light
+        initial = region.initial_pseudostate()
+        assert initial is not None and initial.kind == "initial"
+
+    def test_transition_label(self, traffic_light):
+        _, region, red, *_ = traffic_light
+        transition = red.outgoing()[0]
+        transition.guard = "x > 0"
+        transition.effect = "y := 1"
+        assert transition.label() == "go[x > 0]/y := 1"
+
+    def test_completion_transition(self):
+        machine = StateMachine(name="m")
+        region = machine.main_region()
+        a = region.add_state("A")
+        b = region.add_state("B")
+        t = region.add_transition(a, b)
+        assert t.is_completion
+
+
+class TestHierarchy:
+    def test_composite_states(self):
+        machine = StateMachine(name="hsm")
+        region = machine.main_region()
+        on = region.add_state("On")
+        inner = on.add_region("inner")
+        slow = inner.add_state("Slow")
+        fast = inner.add_state("Fast")
+        assert on.is_composite
+        assert {s.name for s in on.all_substates()} == {"Slow", "Fast"}
+        assert {v.name for v in machine.all_vertices()} >= {"On", "Slow",
+                                                            "Fast"}
+
+    def test_nested_transitions_collected(self):
+        machine = StateMachine(name="hsm")
+        region = machine.main_region()
+        on = region.add_state("On")
+        inner = on.add_region("inner")
+        s1, s2 = inner.add_state("S1"), inner.add_state("S2")
+        inner.add_transition(s1, s2, trigger="x")
+        assert len(machine.all_transitions()) == 1
+
+    def test_vertex_lookup_in_region(self):
+        region = Region(name="r")
+        s = region.add_state("S")
+        assert region.vertex("S") is s
+        assert region.vertex("T") is None
+
+    def test_states_excludes_pseudostates(self):
+        region = Region(name="r")
+        region.add_initial()
+        region.add_state("A")
+        region.add_final()
+        assert [s.name for s in region.states()] == ["A"]
+
+    def test_choice_pseudostate(self):
+        region = Region(name="r")
+        choice = region.add_choice("c")
+        assert choice.kind == "choice"

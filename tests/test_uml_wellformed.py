@@ -1,0 +1,212 @@
+"""Tests for UML well-formedness rules — the checks the paper says
+use-case-driven development skips."""
+
+import pytest
+
+from repro.mof import Severity
+from repro.uml import (
+    Actor,
+    Interaction,
+    StateMachine,
+    UseCase,
+    check_model,
+)
+from repro.uml.wellformed import (
+    rule_lifelines_represent_classifiers,
+    rule_messages_match_operations,
+    rule_no_generalization_cycles,
+    rule_statemachine_initial,
+    rule_transitions_local,
+    rule_unique_member_names,
+    rule_usecases_testable,
+)
+
+
+def codes(report):
+    return {d.code for d in report.diagnostics}
+
+
+class TestNamespaceRules:
+    def test_duplicate_names_flagged(self, factory):
+        factory.clazz("X")
+        factory.clazz("X")
+        report = check_model(factory.model,
+                             rules=[rule_unique_member_names])
+        assert "uml-unique-name" in codes(report)
+
+    def test_unnamed_element_warned(self, factory):
+        factory.clazz("")
+        report = check_model(factory.model,
+                             rules=[rule_unique_member_names])
+        assert "uml-name" in codes(report)
+
+
+class TestGeneralizationRules:
+    def test_cycle_detected(self, factory):
+        a = factory.clazz("A")
+        b = factory.clazz("B", supers=[a])
+        a.add_super(b)
+        report = check_model(factory.model,
+                             rules=[rule_no_generalization_cycles])
+        assert "uml-gen-cycle" in codes(report)
+
+
+class TestInteractionRules:
+    def test_floating_lifeline_is_error(self, factory):
+        interaction = Interaction(name="ix")
+        factory.model.add(interaction)
+        interaction.add_lifeline("ghost")           # represents nothing
+        report = check_model(factory.model,
+                             rules=[rule_lifelines_represent_classifiers])
+        assert "uml-floating-lifeline" in codes(report)
+
+    def test_message_must_match_operation_or_event(self, factory):
+        cls = factory.clazz("Svc")
+        factory.operation(cls, "ping")
+        interaction = Interaction(name="ix")
+        factory.model.add(interaction)
+        src = interaction.add_lifeline("a", cls)
+        dst = interaction.add_lifeline("b", cls)
+        interaction.add_message(src, dst, "ping")      # fine: operation
+        interaction.add_message(src, dst, "warp")      # unknown
+        report = check_model(factory.model,
+                             rules=[rule_messages_match_operations])
+        offenders = [d for d in report.diagnostics
+                     if d.code == "uml-msg-unknown"]
+        assert len(offenders) == 1
+
+    def test_state_machine_event_counts_as_receivable(self, factory):
+        cls = factory.clazz("Svc")
+        machine = StateMachine(name="SvcSM")
+        cls.owned_behaviors.append(machine)
+        region = machine.main_region()
+        initial = region.add_initial()
+        idle = region.add_state("Idle")
+        region.add_transition(initial, idle)
+        region.add_transition(idle, idle, trigger="poke")
+        interaction = Interaction(name="ix")
+        factory.model.add(interaction)
+        src = interaction.add_lifeline("a", cls)
+        dst = interaction.add_lifeline("b", cls)
+        interaction.add_message(src, dst, "poke")
+        report = check_model(factory.model,
+                             rules=[rule_messages_match_operations])
+        assert "uml-msg-unknown" not in codes(report)
+
+
+class TestStateMachineRules:
+    def test_missing_initial(self, factory):
+        machine = StateMachine(name="sm")
+        factory.model.add(machine)
+        machine.main_region().add_state("S")
+        report = check_model(factory.model,
+                             rules=[rule_statemachine_initial])
+        assert "uml-sm-initial" in codes(report)
+
+    def test_initial_needs_single_outgoing(self, factory):
+        machine = StateMachine(name="sm")
+        factory.model.add(machine)
+        region = machine.main_region()
+        initial = region.add_initial()
+        a = region.add_state("A")
+        b = region.add_state("B")
+        region.add_transition(initial, a)
+        region.add_transition(initial, b)
+        report = check_model(factory.model,
+                             rules=[rule_statemachine_initial])
+        assert "uml-sm-initial-out" in codes(report)
+
+    def test_final_state_cannot_have_outgoing(self, factory):
+        machine = StateMachine(name="sm")
+        factory.model.add(machine)
+        region = machine.main_region()
+        initial = region.add_initial()
+        a = region.add_state("A")
+        final = region.add_final()
+        region.add_transition(initial, a)
+        region.add_transition(a, final)
+        region.add_transition(final, a)     # illegal
+        report = check_model(factory.model,
+                             rules=[rule_transitions_local])
+        assert "uml-sm-final-out" in codes(report)
+
+    def test_dangling_transition(self, factory):
+        machine = StateMachine(name="sm")
+        factory.model.add(machine)
+        region = machine.main_region()
+        from repro.uml import Transition
+        region.transitions.append(Transition(name="t"))
+        report = check_model(factory.model,
+                             rules=[rule_transitions_local])
+        assert "uml-sm-dangling" in codes(report)
+
+
+class TestUseCaseRules:
+    def test_untestable_usecase_warned(self, factory):
+        usecase = UseCase(name="DoThing")
+        factory.model.add(usecase)
+        report = check_model(factory.model, rules=[rule_usecases_testable])
+        assert "uml-uc-untestable" in codes(report)
+        assert all(d.severity is Severity.WARNING
+                   for d in report.diagnostics)
+
+    def test_usecase_with_scenario_is_fine(self, factory):
+        usecase = UseCase(name="DoThing")
+        interaction = Interaction(name="scenario")
+        factory.model.add(usecase)
+        factory.model.add(interaction)
+        usecase.scenarios.append(interaction)
+        report = check_model(factory.model, rules=[rule_usecases_testable])
+        assert report.ok and not report.warnings
+
+    def test_include_cycle_detected(self, factory):
+        a = UseCase(name="A")
+        b = UseCase(name="B")
+        factory.model.add(a)
+        factory.model.add(b)
+        a.includes.append(b)
+        b.includes.append(a)
+        report = check_model(factory.model, rules=[rule_usecases_testable])
+        assert "uml-uc-cycle" in codes(report)
+
+    def test_all_included_transitive(self, factory):
+        a, b, c = UseCase(name="A"), UseCase(name="B"), UseCase(name="C")
+        for usecase in (a, b, c):
+            factory.model.add(usecase)
+        a.includes.append(b)
+        b.includes.append(c)
+        assert a.all_included() == [b, c]
+
+
+def test_well_formed_model_passes_everything(cruise_model):
+    report = check_model(cruise_model.model)
+    assert report.ok, str(report)
+
+
+class TestUnsupportedPseudostates:
+    def test_history_warned(self, factory):
+        from repro.uml import Pseudostate, StateMachine
+        from repro.uml.wellformed import rule_supported_pseudostates
+        machine = StateMachine(name="sm")
+        factory.model.add(machine)
+        region = machine.main_region()
+        region.add_initial()
+        state = region.add_state("S")
+        region.subvertices.append(
+            Pseudostate(name="h", kind="deepHistory"))
+        report = check_model(factory.model,
+                             rules=[rule_supported_pseudostates])
+        assert any(d.code == "uml-sm-unsupported-kind"
+                   for d in report.warnings)
+
+    def test_choice_not_warned(self, factory):
+        from repro.uml import StateMachine
+        from repro.uml.wellformed import rule_supported_pseudostates
+        machine = StateMachine(name="sm")
+        factory.model.add(machine)
+        region = machine.main_region()
+        region.add_initial()
+        region.add_choice("c")
+        report = check_model(factory.model,
+                             rules=[rule_supported_pseudostates])
+        assert report.ok and not report.warnings

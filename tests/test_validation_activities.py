@@ -1,0 +1,168 @@
+"""Tests for UML activities and their token-flow interpreter."""
+
+import pytest
+
+from repro.uml import Activity
+from repro.validation import SimulationError, run_activity
+
+
+def linear_activity():
+    activity = Activity(name="linear")
+    start = activity.add_initial()
+    a = activity.add_action("a", body="x := x + 1")
+    b = activity.add_action("b", body="x := x * 2")
+    end = activity.add_final()
+    activity.flow(start, a)
+    activity.flow(a, b)
+    activity.flow(b, end)
+    return activity
+
+
+class TestBasics:
+    def test_linear_flow(self):
+        run = run_activity(linear_activity(), {"x": 1})
+        assert run.completed and not run.deadlocked
+        assert run.visited_actions()[:2] == ["a", "b"]
+        assert run.variables["x"] == 4        # (1+1)*2
+
+    def test_missing_initial_rejected(self):
+        activity = Activity(name="broken")
+        activity.add_action("a")
+        with pytest.raises(SimulationError):
+            run_activity(activity)
+
+    def test_token_dies_at_sink(self):
+        activity = Activity(name="sink")
+        start = activity.add_initial()
+        a = activity.add_action("a")
+        activity.flow(start, a)       # no outgoing from a
+        run = run_activity(activity)
+        assert not run.completed and not run.deadlocked
+
+    def test_two_unguarded_outgoing_rejected(self):
+        activity = Activity(name="amb")
+        start = activity.add_initial()
+        a = activity.add_action("a")
+        b = activity.add_action("b")
+        activity.flow(start, a)
+        activity.flow(start, b)
+        with pytest.raises(SimulationError):
+            run_activity(activity)
+
+
+class TestDecisions:
+    def make(self):
+        activity = Activity(name="route")
+        start = activity.add_initial()
+        decision = activity.add_decision()
+        low = activity.add_action("low", body="label := 'low'")
+        high = activity.add_action("high", body="label := 'high'")
+        merge = activity.add_merge()
+        end = activity.add_final()
+        activity.flow(start, decision)
+        activity.flow(decision, high, guard="x > 10")
+        activity.flow(decision, low, guard="else")
+        activity.flow(low, merge)
+        activity.flow(high, merge)
+        activity.flow(merge, end)
+        return activity
+
+    def test_guarded_branch(self):
+        run = run_activity(self.make(), {"x": 50, "label": ""})
+        assert run.variables["label"] == "high"
+
+    def test_else_branch(self):
+        run = run_activity(self.make(), {"x": 1, "label": ""})
+        assert run.variables["label"] == "low"
+
+    def test_no_branch_no_else_rejected(self):
+        activity = Activity(name="stuck")
+        start = activity.add_initial()
+        decision = activity.add_decision()
+        a = activity.add_action("a")
+        activity.flow(start, decision)
+        activity.flow(decision, a, guard="x > 10")
+        with pytest.raises(SimulationError):
+            run_activity(activity, {"x": 1})
+
+    def test_bad_guard_reported(self):
+        activity = Activity(name="bad")
+        start = activity.add_initial()
+        decision = activity.add_decision()
+        a = activity.add_action("a")
+        activity.flow(start, decision)
+        activity.flow(decision, a, guard="mystery > 1")
+        with pytest.raises(SimulationError):
+            run_activity(activity)
+
+
+class TestForkJoin:
+    def make(self):
+        activity = Activity(name="par")
+        start = activity.add_initial()
+        fork = activity.add_fork()
+        left = activity.add_action("left", body="l := 1")
+        right = activity.add_action("right", body="r := 1")
+        join = activity.add_join()
+        done = activity.add_action("done", body="total := l + r")
+        end = activity.add_final()
+        activity.flow(start, fork)
+        activity.flow(fork, left)
+        activity.flow(fork, right)
+        activity.flow(left, join)
+        activity.flow(right, join)
+        activity.flow(join, done)
+        activity.flow(done, end)
+        return activity
+
+    def test_both_branches_execute_before_join(self):
+        run = run_activity(self.make(), {"l": 0, "r": 0, "total": 0})
+        assert run.completed
+        visited = run.visited_actions()
+        assert visited.index("done") > visited.index("left")
+        assert visited.index("done") > visited.index("right")
+        assert run.variables["total"] == 2
+
+    def test_join_waits_for_all(self):
+        activity = Activity(name="half")
+        start = activity.add_initial()
+        a = activity.add_action("a")
+        join = activity.add_join()
+        never = activity.add_action("never")
+        activity.flow(start, a)
+        activity.flow(a, join)
+        # a second, never-fed incoming edge
+        orphan = activity.add_action("orphan")
+        activity.flow(orphan, join)
+        activity.flow(join, never)
+        run = run_activity(activity)
+        assert run.deadlocked
+        assert "never" not in run.visited_actions()
+
+    def test_flow_final_consumes_without_ending(self):
+        activity = Activity(name="ff")
+        start = activity.add_initial()
+        fork = activity.add_fork()
+        a = activity.add_action("a", body="x := 1")
+        flow_end = activity.add_flow_final()
+        b = activity.add_action("b", body="y := 1")
+        end = activity.add_final()
+        activity.flow(start, fork)
+        activity.flow(fork, a)
+        activity.flow(fork, b)
+        activity.flow(a, flow_end)
+        activity.flow(b, end)
+        run = run_activity(activity, {"x": 0, "y": 0})
+        assert run.completed
+        assert run.variables["x"] == 1 and run.variables["y"] == 1
+
+
+class TestModelQueries:
+    def test_structure_queries(self):
+        activity = linear_activity()
+        assert activity.initial_node() is not None
+        assert activity.node("a").body == "x := x + 1"
+        assert [a.name for a in activity.actions()] == ["a", "b"]
+        a = activity.node("a")
+        assert [e.target.name for e in a.outgoing()] == ["b"]
+        assert [e.source.name for e in a.incoming()] == ["start"]

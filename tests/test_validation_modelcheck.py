@@ -1,0 +1,171 @@
+"""Tests for the explicit-state model checker."""
+
+import pytest
+
+from repro.uml import ModelFactory, StateMachine
+from repro.validation import (
+    Collaboration,
+    ModelChecker,
+    check_collaboration,
+)
+
+
+def make_pingpong(limit_guarded=True):
+    """Ping/pong pair; without the guard the exchange runs forever
+    (bounded by queue growth)."""
+    factory = ModelFactory("pp")
+    ping = factory.clazz("Ping", attrs={"count": "Integer"},
+                         is_active=True)
+    pong = factory.clazz("Pong", is_active=True)
+    factory.associate(ping, pong, end_b="peer", end_a="peer",
+                      navigable_b_to_a=True)
+
+    machine = StateMachine(name="PingSM")
+    ping.owned_behaviors.append(machine)
+    region = machine.main_region()
+    initial = region.add_initial()
+    idle = region.add_state("Idle")
+    waiting = region.add_state("Waiting")
+    region.add_transition(initial, idle)
+    region.add_transition(idle, waiting, trigger="go",
+                          effect="count := count + 1; send peer.ping()")
+    guard = "count < 2" if limit_guarded else ""
+    region.add_transition(waiting, waiting, trigger="pong", guard=guard,
+                          effect="count := count + 1; send peer.ping()",
+                          kind="internal")
+    if limit_guarded:
+        final = region.add_final()
+        region.add_transition(waiting, final, trigger="pong",
+                              guard="count >= 2")
+
+    pong_machine = StateMachine(name="PongSM")
+    pong.owned_behaviors.append(pong_machine)
+    pong_region = pong_machine.main_region()
+    pong_initial = pong_region.add_initial()
+    ready = pong_region.add_state("Ready")
+    pong_region.add_transition(pong_initial, ready)
+    pong_region.add_transition(ready, ready, trigger="ping",
+                               effect="send peer.pong()", kind="internal")
+
+    def build():
+        collab = Collaboration("pp")
+        collab.create_object("p1", ping)
+        collab.create_object("p2", pong)
+        collab.link("p1", "peer", "p2")
+        collab.link("p2", "peer", "p1")
+        return collab
+    return build
+
+
+class TestExploration:
+    def test_terminating_system_fully_explored(self):
+        build = make_pingpong()
+        result = check_collaboration(build(), [("p1", "go")])
+        assert result.ok
+        assert not result.truncated
+        assert result.states_explored > 2
+        assert result.transitions_explored >= result.states_explored - 1
+
+    def test_invariant_violation_found_with_trace(self):
+        build = make_pingpong()
+        result = check_collaboration(
+            build(), [("p1", "go")],
+            invariants={"count-below-2":
+                        lambda c: c.attribute("p1", "count") < 2})
+        assert not result.ok
+        violation = result.violations[0]
+        assert violation.kind == "invariant"
+        assert violation.trace        # a concrete counterexample path
+        assert any("p1!" in step or "p2!" in step
+                   for step in violation.trace)
+
+    def test_deadlock_detection(self):
+        """Two machines each waiting for the other's first move: quiescent
+        but not done."""
+        factory = ModelFactory("dl")
+        waiter = factory.clazz("Waiter", is_active=True)
+        factory.associate(waiter, waiter, end_b="peer", end_a="peer2")
+        machine = StateMachine(name="WSM")
+        waiter.owned_behaviors.append(machine)
+        region = machine.main_region()
+        initial = region.add_initial()
+        blocked = region.add_state("Blocked")
+        done = region.add_state("Done")
+        region.add_transition(initial, blocked)
+        region.add_transition(blocked, done, trigger="release",
+                              effect="send peer.release()")
+        collab = Collaboration("dl")
+        collab.create_object("w1", waiter)
+        collab.create_object("w2", waiter)
+        collab.link("w1", "peer", "w2")
+        collab.link("w2", "peer", "w1")
+        result = check_collaboration(
+            collab, [],
+            done=lambda c: all(o.state_name == "Done"
+                               for o in c.objects.values()))
+        assert any(v.kind == "deadlock" for v in result.violations)
+
+    def test_no_deadlock_when_stimulated(self):
+        build = make_pingpong()
+        result = check_collaboration(
+            build(), [("p1", "go")],
+            done=lambda c: c.objects["p1"].completed)
+        assert result.ok
+
+    def test_queue_overflow_detected(self):
+        build = make_pingpong(limit_guarded=False)   # infinite exchange
+        result = check_collaboration(build(), [("p1", "go")],
+                                     queue_bound=2, max_states=5000)
+        # unbounded ping-pong with internal loops stays at queue size 1;
+        # inject extra stimuli to overflow
+        collab = build()
+        result = check_collaboration(
+            collab, [("p1", "go")] * 6, queue_bound=2, max_states=5000)
+        assert any(v.kind == "queue-overflow" for v in result.violations)
+
+    def test_state_bound_truncates(self):
+        build = make_pingpong(limit_guarded=False)
+        result = check_collaboration(build(), [("p1", "go")],
+                                     max_states=3)
+        assert result.truncated
+        assert result.states_explored <= 3
+
+    def test_goal_reachability(self):
+        build = make_pingpong()
+        checker = ModelChecker(build())
+        checker.goal("counted-2", lambda c: c.attribute("p1", "count") == 2)
+        checker.goal("counted-99",
+                     lambda c: c.attribute("p1", "count") == 99)
+        result = checker.check([("p1", "go")])
+        assert result.goals_reached["counted-2"] is True
+        assert result.goals_reached["counted-99"] is False
+
+    def test_checker_explores_interleavings(self):
+        """With two independent stimuli both orders must be covered."""
+        build = make_pingpong()
+        collab = build()
+        result = check_collaboration(collab, [("p1", "go"), ("p2", "ping")])
+        # more states than a single linear run would visit
+        assert result.states_explored >= 4
+
+    def test_summary_renders(self):
+        build = make_pingpong()
+        result = check_collaboration(build(), [("p1", "go")])
+        assert "states=" in result.summary()
+
+    def test_checker_semantics_match_simulator(self):
+        """The checker must reach exactly the final count the simulator
+        produces on the deterministic path."""
+        build = make_pingpong()
+        collab = build()
+        collab.start()
+        collab.send("p1", "go")
+        collab.run()
+        simulated_count = collab.attribute("p1", "count")
+
+        checker = ModelChecker(build())
+        checker.goal("same-count",
+                     lambda c: c.attribute("p1", "count")
+                     == simulated_count and c.objects["p1"].completed)
+        result = checker.check([("p1", "go")])
+        assert result.goals_reached["same-count"] is True

@@ -1,0 +1,127 @@
+"""Tests for use-cases-as-tests: scenarios and conformance."""
+
+import pytest
+
+from repro.uml import Actor, Interaction, UseCase
+from repro.validation import Scenario, run_use_case_tests
+
+
+class TestScenarioConstruction:
+    def test_from_interaction_splits_actor_stimuli(self, cruise_model):
+        model = cruise_model.model
+        driver = Actor(name="Driver")
+        model.add(driver)
+        controller = model.member("CruiseController")
+        actuator = model.member("ThrottleActuator")
+        interaction = Interaction(name="EngageScenario")
+        model.add(interaction)
+        driver_line = interaction.add_lifeline("driver", driver)
+        ctl_line = interaction.add_lifeline("ctl", controller)
+        act_line = interaction.add_lifeline("act", actuator)
+        interaction.add_message(driver_line, ctl_line, "engage")
+        interaction.add_message(ctl_line, act_line, "apply")
+
+        scenario = Scenario.from_interaction(
+            interaction, actor_lifelines=["driver"])
+        assert scenario.stimuli == [("ctl", "engage")]
+        assert scenario.expected == [("ctl", "act", "apply")]
+
+    def test_from_use_case(self, cruise_model):
+        model = cruise_model.model
+        driver = Actor(name="Driver")
+        model.add(driver)
+        usecase = UseCase(name="EngageCruise")
+        model.add(usecase)
+        usecase.actors.append(driver)
+        interaction = Interaction(name="happy-path")
+        model.add(interaction)
+        driver_line = interaction.add_lifeline("driver", driver)
+        ctl_line = interaction.add_lifeline(
+            "ctl", model.member("CruiseController"))
+        interaction.add_message(driver_line, ctl_line, "engage")
+        usecase.scenarios.append(interaction)
+
+        scenarios = Scenario.from_use_case(usecase)
+        assert len(scenarios) == 1
+        assert scenarios[0].stimuli == [("ctl", "engage")]
+
+
+class TestConformance:
+    def test_passing_scenario(self, cruise_collaboration):
+        scenario = Scenario(
+            "engage", [("ctl", "act", "apply")],
+            stimuli=[("ctl", "engage")])
+        result = scenario.run(cruise_collaboration())
+        assert result.passed
+        assert result.matched == [("ctl", "act", "apply")]
+
+    def test_subsequence_tolerates_interleaving(self, cruise_collaboration):
+        scenario = Scenario(
+            "engage-twice",
+            [("ctl", "act", "apply"), ("ctl", "act", "apply")],
+            stimuli=[("ctl", "engage"), ("ctl", "tick")])
+        result = scenario.run(cruise_collaboration())
+        assert result.passed
+
+    def test_failing_scenario_lists_missing(self, cruise_collaboration):
+        scenario = Scenario(
+            "wrong", [("ctl", "act", "retract")],
+            stimuli=[("ctl", "engage")])
+        result = scenario.run(cruise_collaboration())
+        assert not result.passed
+        assert result.missing == [("ctl", "act", "retract")]
+        assert "FAIL" in result.explain()
+        assert "retract" in result.explain()
+
+    def test_order_matters(self, cruise_collaboration):
+        # release happens only after disengage, so this order must fail
+        scenario = Scenario(
+            "reversed",
+            [("ctl", "act", "release"), ("ctl", "act", "apply")],
+            stimuli=[("ctl", "engage"), ("ctl", "disengage")])
+        result = scenario.run(cruise_collaboration())
+        assert not result.passed
+
+    def test_binding_renames_objects(self, cruise_collaboration):
+        scenario = Scenario(
+            "bound", [("controller", "actuator", "apply")],
+            binding={"controller": "ctl", "actuator": "act"},
+            stimuli=[("controller", "engage")])
+        result = scenario.run(cruise_collaboration())
+        assert result.passed
+
+    def test_check_pure_function(self):
+        scenario = Scenario("pure", [("a", "b", "m")])
+        good = scenario.check([("x", "y", "z"), ("a", "b", "m")])
+        assert good.passed
+        bad = scenario.check([("x", "y", "z")])
+        assert not bad.passed
+
+    def test_empty_expectation_always_passes(self, cruise_collaboration):
+        scenario = Scenario("empty", [])
+        assert scenario.run(cruise_collaboration()).passed
+
+
+class TestUseCaseRunner:
+    def test_run_use_case_tests_fresh_sut_each(self, cruise_model,
+                                               cruise_collaboration):
+        model = cruise_model.model
+        driver = Actor(name="Driver")
+        model.add(driver)
+        usecase = UseCase(name="Engage")
+        model.add(usecase)
+        usecase.actors.append(driver)
+        for index in range(2):          # two identical scenarios
+            interaction = Interaction(name=f"s{index}")
+            model.add(interaction)
+            driver_line = interaction.add_lifeline("driver", driver)
+            ctl_line = interaction.add_lifeline(
+                "ctl", model.member("CruiseController"))
+            act_line = interaction.add_lifeline(
+                "act", model.member("ThrottleActuator"))
+            interaction.add_message(driver_line, ctl_line, "engage")
+            interaction.add_message(ctl_line, act_line, "apply")
+            usecase.scenarios.append(interaction)
+        results = run_use_case_tests(usecase, cruise_collaboration)
+        assert len(results) == 2
+        assert all(r.passed for r in results)

@@ -1,0 +1,325 @@
+"""Tests for the state-machine interpreter and collaboration simulator."""
+
+import pytest
+
+from repro.uml import StateMachine
+from repro.validation import (
+    Collaboration,
+    Event,
+    ObjectInstance,
+    SimulationError,
+    StateMachineInterpreter,
+    attribute_series,
+    sequence_diagram,
+    state_history,
+    timeline,
+)
+
+
+@pytest.fixture
+def counter_class(factory):
+    cls = factory.clazz("Counter", attrs={"count": "Integer",
+                                          "limit": "Integer"})
+    factory.attribute(cls, "label", "String", default="c")
+    machine = StateMachine(name="CounterSM")
+    cls.owned_behaviors.append(machine)
+    cls.classifier_behavior = machine
+    region = machine.main_region()
+    initial = region.add_initial()
+    counting = region.add_state("Counting", entry="count := 0")
+    done = region.add_state("Done")
+    region.add_transition(initial, counting)
+    region.add_transition(counting, counting, trigger="inc",
+                          guard="count < limit",
+                          effect="count := count + 1", kind="internal")
+    region.add_transition(counting, done, trigger="inc",
+                          guard="count >= limit")
+    return cls
+
+
+class TestInterpreter:
+    def test_start_enters_initial_state(self, counter_class):
+        instance = ObjectInstance("c", counter_class, {"limit": 2})
+        interpreter = StateMachineInterpreter(instance)
+        interpreter.start()
+        assert instance.state_name == "Counting"
+        assert instance.attributes["count"] == 0    # entry action ran
+
+    def test_guarded_transitions(self, counter_class):
+        instance = ObjectInstance("c", counter_class, {"limit": 2})
+        interpreter = StateMachineInterpreter(instance)
+        interpreter.start()
+        interpreter.dispatch(Event("inc"))
+        interpreter.dispatch(Event("inc"))
+        assert instance.attributes["count"] == 2
+        assert instance.state_name == "Counting"
+        interpreter.dispatch(Event("inc"))
+        assert instance.state_name == "Done"
+
+    def test_unknown_event_dropped(self, counter_class):
+        instance = ObjectInstance("c", counter_class, {"limit": 1})
+        interpreter = StateMachineInterpreter(instance)
+        interpreter.start()
+        assert interpreter.dispatch(Event("bogus")) is False
+        assert instance.state_name == "Counting"
+
+    def test_default_attribute_values(self, counter_class):
+        instance = ObjectInstance("c", counter_class)
+        assert instance.attributes["count"] == 0
+        assert instance.attributes["label"] == "c"
+
+    def test_queue_stepping(self, counter_class):
+        instance = ObjectInstance("c", counter_class, {"limit": 5})
+        interpreter = StateMachineInterpreter(instance)
+        interpreter.start()
+        instance.queue.extend([Event("inc")] * 3)
+        steps = interpreter.run_to_quiescence()
+        assert steps == 3 and instance.attributes["count"] == 3
+
+    def test_class_without_machine_rejected(self, factory):
+        plain = factory.clazz("Plain")
+        with pytest.raises(SimulationError):
+            StateMachineInterpreter(ObjectInstance("p", plain))
+
+    def test_bad_guard_raises_simulation_error(self, factory):
+        cls = factory.clazz("Bad", attrs={"x": "Integer"})
+        machine = StateMachine(name="BadSM")
+        cls.owned_behaviors.append(machine)
+        region = machine.main_region()
+        initial = region.add_initial()
+        state = region.add_state("S")
+        region.add_transition(initial, state)
+        region.add_transition(state, state, trigger="go",
+                              guard="nonexistent > 1")
+        instance = ObjectInstance("b", cls)
+        interpreter = StateMachineInterpreter(instance)
+        interpreter.start()
+        with pytest.raises(SimulationError):
+            interpreter.dispatch(Event("go"))
+
+    def test_completion_livelock_detected(self, factory):
+        cls = factory.clazz("Loop")
+        machine = StateMachine(name="LoopSM")
+        cls.owned_behaviors.append(machine)
+        region = machine.main_region()
+        initial = region.add_initial()
+        a = region.add_state("A")
+        b = region.add_state("B")
+        region.add_transition(initial, a)
+        region.add_transition(a, b)       # completion
+        region.add_transition(b, a)       # completion: livelock
+        instance = ObjectInstance("l", cls)
+        interpreter = StateMachineInterpreter(instance)
+        with pytest.raises(SimulationError):
+            interpreter.start()
+
+    def test_hierarchical_machine_flattened_automatically(self, factory):
+        cls = factory.clazz("H", attrs={"v": "Integer"})
+        machine = StateMachine(name="HSM")
+        cls.owned_behaviors.append(machine)
+        region = machine.main_region()
+        initial = region.add_initial()
+        outer = region.add_state("Outer")
+        inner_region = outer.add_region("in")
+        inner_initial = inner_region.add_initial()
+        inner_state = inner_region.add_state("Inner", entry="v := 7")
+        inner_region.add_transition(inner_initial, inner_state)
+        region.add_transition(initial, outer)
+        instance = ObjectInstance("h", cls)
+        interpreter = StateMachineInterpreter(instance)
+        interpreter.start()
+        assert instance.state_name == "Outer_Inner"
+        assert instance.attributes["v"] == 7
+
+    def test_event_arguments_bound(self, factory):
+        cls = factory.clazz("Arg", attrs={"x": "Integer"})
+        machine = StateMachine(name="ArgSM")
+        cls.owned_behaviors.append(machine)
+        region = machine.main_region()
+        initial = region.add_initial()
+        state = region.add_state("S")
+        region.add_transition(initial, state)
+        region.add_transition(state, state, trigger="set",
+                              effect="x := arg0")
+        instance = ObjectInstance("a", cls)
+        interpreter = StateMachineInterpreter(instance)
+        interpreter.start()
+        interpreter.dispatch(Event("set", (42,)))
+        assert instance.attributes["x"] == 42
+
+    def test_external_self_transition_reruns_entry(self, factory):
+        cls = factory.clazz("Ext", attrs={"n": "Integer"})
+        machine = StateMachine(name="ExtSM")
+        cls.owned_behaviors.append(machine)
+        region = machine.main_region()
+        initial = region.add_initial()
+        state = region.add_state("S", entry="n := n + 1")
+        region.add_transition(initial, state)
+        region.add_transition(state, state, trigger="again")
+        instance = ObjectInstance("e", cls)
+        interpreter = StateMachineInterpreter(instance)
+        interpreter.start()
+        assert instance.attributes["n"] == 1
+        interpreter.dispatch(Event("again"))
+        assert instance.attributes["n"] == 2     # entry ran again
+
+    def test_internal_transition_skips_entry(self, factory):
+        cls = factory.clazz("Int", attrs={"n": "Integer"})
+        machine = StateMachine(name="IntSM")
+        cls.owned_behaviors.append(machine)
+        region = machine.main_region()
+        initial = region.add_initial()
+        state = region.add_state("S", entry="n := n + 1")
+        region.add_transition(initial, state)
+        region.add_transition(state, state, trigger="again",
+                              kind="internal")
+        instance = ObjectInstance("i", cls)
+        interpreter = StateMachineInterpreter(instance)
+        interpreter.start()
+        interpreter.dispatch(Event("again"))
+        assert instance.attributes["n"] == 1     # entry did NOT rerun
+
+    def test_operation_call_executes_body(self, factory):
+        cls = factory.clazz("WithOp", attrs={"y": "Integer"})
+        factory.operation(cls, "bump", body="y := y + 10")
+        machine = StateMachine(name="OpSM")
+        cls.owned_behaviors.append(machine)
+        region = machine.main_region()
+        initial = region.add_initial()
+        state = region.add_state("S")
+        region.add_transition(initial, state)
+        region.add_transition(state, state, trigger="go",
+                              effect="self.bump()")
+        instance = ObjectInstance("w", cls)
+        interpreter = StateMachineInterpreter(instance)
+        interpreter.start()
+        interpreter.dispatch(Event("go"))
+        assert instance.attributes["y"] == 10
+
+
+class TestCollaboration:
+    def test_cruise_scenario(self, cruise_collaboration):
+        collab = cruise_collaboration()
+        collab.start()
+        collab.send("ctl", "engage")
+        collab.send("ctl", "tick")
+        collab.send("ctl", "tick")
+        collab.run()
+        assert collab.attribute("ctl", "enabled") is True
+        assert collab.attribute("act", "level") == 3
+        assert collab.configuration()["act"] == "Applied"
+
+    def test_disengage_resets(self, cruise_collaboration):
+        collab = cruise_collaboration()
+        collab.start()
+        collab.send("ctl", "engage")
+        collab.run()
+        collab.send("ctl", "disengage")
+        collab.run()
+        assert collab.attribute("act", "level") == 0
+        assert collab.configuration()["act"] == "Idle"
+
+    def test_messages_recorded(self, cruise_collaboration):
+        collab = cruise_collaboration()
+        collab.start()
+        collab.send("ctl", "engage")
+        collab.run()
+        assert ("ctl", "act", "apply") in collab.messages()
+
+    def test_duplicate_object_name_rejected(self, cruise_collaboration,
+                                            cruise_model):
+        collab = cruise_collaboration()
+        controller = cruise_model.model.member("CruiseController")
+        with pytest.raises(SimulationError):
+            collab.create_object("ctl", controller)
+
+    def test_send_to_unlinked_target_is_lost_not_fatal(self, cruise_model):
+        controller = cruise_model.model.member("CruiseController")
+        collab = Collaboration()
+        collab.create_object("ctl", controller)      # no actuator link
+        collab.start()
+        collab.send("ctl", "engage")
+        collab.run()
+        lost = [e for e in collab.trace if e.kind == "send-lost"]
+        assert lost and lost[0].detail["to"] == "actuator"
+
+    def test_wire_from_model(self, cruise_model):
+        collab = Collaboration()
+        classes = {c.name: c for c in cruise_model.model.all_members()
+                   if hasattr(c, "owned_attributes")}
+        collab.create_object("ctl", classes["CruiseController"])
+        collab.create_object("act", classes["ThrottleActuator"])
+        collab.wire_from_model({"ctl": "CruiseController",
+                                "act": "ThrottleActuator"},
+                               cruise_model.model)
+        assert collab.objects["ctl"].links["actuator"] is \
+            collab.objects["act"]
+        assert collab.objects["act"].links["controller"] is \
+            collab.objects["ctl"]
+
+    def test_run_respects_step_bound(self, cruise_collaboration):
+        collab = cruise_collaboration()
+        collab.start()
+        collab.send("ctl", "engage")
+        steps = collab.run(max_steps=1)
+        assert steps == 1
+
+    def test_save_and_load_state(self, cruise_collaboration):
+        collab = cruise_collaboration()
+        collab.start()
+        saved = collab.save_state()
+        collab.send("ctl", "engage")
+        collab.run()
+        assert collab.attribute("ctl", "enabled") is True
+        collab.load_state(saved)
+        assert collab.attribute("ctl", "enabled") is False
+        assert collab.quiescent
+
+    def test_snapshot_equality(self, cruise_collaboration):
+        collab = cruise_collaboration()
+        collab.start()
+        snap1 = collab.snapshot()
+        saved = collab.save_state()
+        collab.send("ctl", "engage")
+        collab.run()
+        assert collab.snapshot() != snap1
+        collab.load_state(saved)
+        assert collab.snapshot() == snap1
+
+
+class TestAnimation:
+    @pytest.fixture
+    def ran(self, cruise_collaboration):
+        collab = cruise_collaboration()
+        collab.start()
+        collab.send("ctl", "engage")
+        collab.send("ctl", "disengage")
+        collab.run()
+        return collab
+
+    def test_timeline(self, ran):
+        text = timeline(ran)
+        assert "engage" in text and "ctl" in text
+
+    def test_timeline_filtered(self, ran):
+        text = timeline(ran, kinds=["send"])
+        assert "apply" in text
+        assert "inject" not in text
+
+    def test_state_history(self, ran):
+        assert state_history(ran, "ctl") == ["Off", "On", "Off"]
+
+    def test_sequence_diagram(self, ran):
+        diagram = sequence_diagram(ran)
+        lines = diagram.splitlines()
+        assert "ctl" in lines[0] and "act" in lines[0]
+        assert any("apply" in line for line in lines[1:])
+
+    def test_attribute_series(self, cruise_collaboration):
+        collab = cruise_collaboration()
+        collab.start()
+        collab.send("ctl", "engage")
+        collab.send("ctl", "tick")
+        collab.run()
+        series = attribute_series(collab, "act", "level")
+        assert [value for _, value in series] == [1, 2]

@@ -1,0 +1,120 @@
+"""Tests for model-based test generation."""
+
+import pytest
+
+from repro.uml import ModelFactory, StateMachine
+from repro.validation import (
+    SimulationError,
+    generate_transition_tests,
+    run_generated_tests,
+)
+
+
+@pytest.fixture
+def turnstile(factory):
+    cls = factory.clazz("Turnstile", attrs={"coins": "Integer"})
+    machine = StateMachine(name="TurnstileSM")
+    cls.owned_behaviors.append(machine)
+    cls.classifier_behavior = machine
+    region = machine.main_region()
+    initial = region.add_initial()
+    locked = region.add_state("Locked")
+    unlocked = region.add_state("Unlocked")
+    region.add_transition(initial, locked)
+    region.add_transition(locked, unlocked, trigger="coin",
+                          effect="coins := coins + 1")
+    region.add_transition(unlocked, locked, trigger="push")
+    region.add_transition(locked, locked, trigger="push",
+                          kind="internal")      # bounce
+    region.add_transition(unlocked, unlocked, trigger="coin",
+                          kind="internal",
+                          effect="coins := coins + 1")  # extra coin kept
+    return cls
+
+
+class TestGeneration:
+    def test_full_coverage_small_machine(self, turnstile):
+        result = generate_transition_tests(turnstile)
+        assert result.coverage == 1.0
+        assert result.transitions_total == 4
+        assert result.tests
+        print(result.summary())
+
+    def test_sequences_are_shortest_first(self, turnstile):
+        result = generate_transition_tests(turnstile)
+        lengths = [len(t.events) for t in result.tests]
+        assert lengths == sorted(lengths)       # BFS property
+
+    def test_expected_values_recorded(self, turnstile):
+        result = generate_transition_tests(turnstile)
+        coin_test = [t for t in result.tests
+                     if t.events == ["coin"]][0]
+        assert coin_test.expected_state == "Unlocked"
+        assert coin_test.expected_attributes["coins"] == 1
+
+    def test_generated_tests_pass_on_clean_model(self, turnstile):
+        result = generate_transition_tests(turnstile)
+        outcomes = run_generated_tests(turnstile, result)
+        assert all(passed for _test, passed in outcomes)
+
+    def test_mutation_detected(self, turnstile):
+        result = generate_transition_tests(turnstile)
+        machine = turnstile.state_machine()
+        push = [t for t in machine.all_transitions()
+                if t.trigger == "push" and t.kind == "external"][0]
+        push.effect = "coins := 0"          # mutation: eats the coins
+        outcomes = run_generated_tests(turnstile, result)
+        assert any(not passed for _test, passed in outcomes)
+
+    def test_guarded_machine(self, factory):
+        cls = factory.clazz("Gate", attrs={"n": "Integer"})
+        machine = StateMachine(name="GateSM")
+        cls.owned_behaviors.append(machine)
+        cls.classifier_behavior = machine
+        region = machine.main_region()
+        initial = region.add_initial()
+        closed = region.add_state("Closed")
+        open_ = region.add_state("Open")
+        jammed = region.add_state("Jammed")
+        region.add_transition(initial, closed)
+        region.add_transition(closed, open_, trigger="press",
+                              guard="n < 2", effect="n := n + 1")
+        region.add_transition(open_, closed, trigger="press")
+        region.add_transition(closed, jammed, trigger="press",
+                              guard="n >= 2")
+        result = generate_transition_tests(cls)
+        # the jam transition needs n to reach 2 first: a 5-event sequence
+        assert result.coverage == 1.0
+        jam_tests = [t for t in result.tests
+                     if any("Jammed" in c for c in t.covers)]
+        assert jam_tests and len(jam_tests[0].events) == 5
+
+    def test_class_without_machine_rejected(self, factory):
+        plain = factory.clazz("Plain")
+        with pytest.raises(SimulationError):
+            generate_transition_tests(plain)
+
+    def test_hierarchical_machine_flattened(self, cruise_model):
+        controller = cruise_model.model.member("CruiseController")
+        result = generate_transition_tests(controller)
+        assert result.coverage == 1.0
+
+    def test_depth_bound_limits_coverage(self, factory):
+        cls = factory.clazz("Deep", attrs={"n": "Integer"})
+        machine = StateMachine(name="DeepSM")
+        cls.owned_behaviors.append(machine)
+        cls.classifier_behavior = machine
+        region = machine.main_region()
+        initial = region.add_initial()
+        state = region.add_state("S")
+        far = region.add_state("Far")
+        region.add_transition(initial, state)
+        region.add_transition(state, state, trigger="step",
+                              kind="internal", guard="n < 6",
+                              effect="n := n + 1")
+        region.add_transition(state, far, trigger="step",
+                              guard="n >= 6")
+        shallow = generate_transition_tests(cls, max_depth=3)
+        assert shallow.coverage < 1.0
+        deep = generate_transition_tests(cls, max_depth=10)
+        assert deep.coverage == 1.0

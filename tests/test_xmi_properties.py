@@ -1,0 +1,96 @@
+"""Property-based round-trip tests: randomly generated models survive
+XML and JSON serialization bit-for-bit (structure, attributes, refs)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmi import read_json, read_xml, write_json, write_xml
+from kernel_fixture import TEST_PKG, TBook, TChapter, TLibrary
+
+names = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1, max_size=8)
+
+
+@st.composite
+def library_models(draw):
+    lib = TLibrary(name=draw(names))
+    n_books = draw(st.integers(0, 5))
+    books = []
+    for i in range(n_books):
+        book = TBook(name=draw(names), pages=draw(st.integers(1, 999)))
+        for _ in range(draw(st.integers(0, 3))):
+            book.tags.append(draw(names))
+        for _ in range(draw(st.integers(0, 2))):
+            book.chapters.append(TChapter(name=draw(names)))
+        books.append(book)
+        lib.books.append(book)
+    # random sequel links (non-containment refs)
+    if len(books) >= 2:
+        for _ in range(draw(st.integers(0, 2))):
+            a = draw(st.sampled_from(books))
+            b = draw(st.sampled_from(books))
+            if a is not b:
+                a.sequel = b
+    if books and draw(st.booleans()):
+        lib.featured = draw(st.sampled_from(books))
+    return lib
+
+
+def structure_signature(root):
+    """A deep comparable signature of a containment tree."""
+    def sig(element):
+        attrs = {}
+        for name, feature in element.meta.all_features().items():
+            if feature.is_reference:
+                continue
+            value = element.eget(name)
+            attrs[name] = list(value) if feature.many else value
+        refs = {}
+        for name, feature in element.meta.all_features().items():
+            if not feature.is_reference or feature.containment:
+                continue
+            if feature.opposite is not None and \
+                    feature.opposite.containment:
+                continue
+            value = element.eget(name)
+            targets = list(value) if feature.many else (
+                [value] if value is not None else [])
+            refs[name] = [getattr(t, "name", None) for t in targets]
+        children = [sig(child) for child in element.contents()]
+        return (element.meta.name, tuple(sorted(attrs.items(),
+                                                key=lambda kv: kv[0],
+                                                )), tuple(
+            sorted((k, tuple(v)) for k, v in refs.items())), tuple(children))
+
+    def hashable(value):
+        if isinstance(value, list):
+            return tuple(value)
+        return value
+
+    def norm(signature):
+        kind, attrs, refs, children = signature
+        attrs = tuple((k, hashable(v)) for k, v in attrs)
+        return (kind, attrs, refs, tuple(norm(c) for c in children))
+    return norm(sig(root))
+
+
+@settings(max_examples=60, deadline=None)
+@given(library_models())
+def test_xml_roundtrip_preserves_structure(lib):
+    loaded = read_xml(write_xml(lib, uri="urn:prop"), [TEST_PKG])
+    assert structure_signature(loaded.roots[0]) == structure_signature(lib)
+
+
+@settings(max_examples=60, deadline=None)
+@given(library_models())
+def test_json_roundtrip_preserves_structure(lib):
+    loaded = read_json(write_json(lib, uri="urn:prop"), [TEST_PKG])
+    assert structure_signature(loaded.roots[0]) == structure_signature(lib)
+
+
+@settings(max_examples=30, deadline=None)
+@given(library_models())
+def test_double_roundtrip_is_identity(lib):
+    text1 = write_xml(lib, uri="urn:prop")
+    text2 = write_xml(read_xml(text1, [TEST_PKG]))
+    assert text1 == text2

@@ -1,0 +1,178 @@
+"""Tests for XMI-style XML and JSON interchange."""
+
+import pytest
+
+from repro.mof import Model, Repository, RepositoryError, validate_tree
+from repro.uml import UML, Interaction, ModelFactory, StateMachine, UseCase
+from repro.xmi import read_json, read_xml, write_json, write_xml
+from kernel_fixture import TEST_PKG, TBook, TLibrary
+
+
+@pytest.fixture
+def uml_model(cruise_model):
+    model = Model("urn:cruise", "cruise")
+    model.add_root(cruise_model.model)
+    return model
+
+
+def find(model, name):
+    for element in model.all_elements():
+        if getattr(element, "name", None) == name:
+            return element
+    raise AssertionError(f"no element named {name}")
+
+
+class TestXmlRoundtrip:
+    def test_structure_preserved(self, uml_model):
+        text = write_xml(uml_model)
+        loaded = read_xml(text, [UML])
+        assert loaded.uri == "urn:cruise"
+        original_count = sum(1 for _ in uml_model.all_elements())
+        loaded_count = sum(1 for _ in loaded.all_elements())
+        assert loaded_count == original_count
+
+    def test_cross_references_resolved(self, uml_model):
+        loaded = read_xml(write_xml(uml_model), [UML])
+        controller = find(loaded, "CruiseController")
+        prop = controller.attribute("actuator")
+        assert prop is not None
+        assert prop.type.name == "ThrottleActuator"
+        assert prop.association is not None
+
+    def test_state_machine_preserved(self, uml_model):
+        loaded = read_xml(write_xml(uml_model), [UML])
+        controller = find(loaded, "CruiseController")
+        machine = controller.state_machine()
+        assert machine is not None
+        assert machine.events() == ["disengage", "engage", "tick"]
+        transition = [t for t in machine.all_transitions()
+                      if t.trigger == "tick"][0]
+        assert transition.guard == "enabled = true"
+
+    def test_generalizations_preserved(self, factory):
+        base = factory.clazz("Base")
+        derived = factory.clazz("Derived", supers=[base])
+        model = Model("urn:g")
+        model.add_root(factory.model)
+        loaded = read_xml(write_xml(model), [UML])
+        derived2 = find(loaded, "Derived")
+        assert [s.name for s in derived2.supers()] == ["Base"]
+
+    def test_roundtrip_is_stable(self, uml_model):
+        once = write_xml(uml_model)
+        twice = write_xml(read_xml(once, [UML]))
+        assert once == twice
+
+    def test_loaded_model_validates(self, uml_model):
+        loaded = read_xml(write_xml(uml_model), [UML])
+        for root in loaded.roots:
+            assert validate_tree(root).ok
+
+    def test_many_valued_attributes(self):
+        book = TBook(name="b")
+        book.tags.extend(["a", "b c", "d"])
+        text = write_xml(book, uri="urn:b")
+        loaded = read_xml(text, [TEST_PKG])
+        assert list(loaded.roots[0].tags) == ["a", "b c", "d"]
+
+    def test_booleans_and_numbers_coerced(self, factory):
+        cls = factory.clazz("C", is_abstract=True, is_active=True)
+        sub = factory.clazz("S", supers=[cls])
+        model = Model("urn:t")
+        model.add_root(factory.model)
+        loaded = read_xml(write_xml(model), [UML])
+        assert find(loaded, "C").is_abstract is True
+
+    def test_unknown_type_label_rejected(self):
+        bad = '<xmi uri="u" name="n"><root type="uml:Nope" id="x"/></xmi>'
+        with pytest.raises(RepositoryError):
+            read_xml(bad, [UML])
+
+    def test_dangling_reference_rejected(self):
+        bad = ('<xmi uri="u" name="n">'
+               '<root type="uml:Clazz" id="a" ref.classifier_behavior="zz"/>'
+               '</xmi>')
+        with pytest.raises(RepositoryError):
+            read_xml(bad, [UML])
+
+    def test_not_xmi_document(self):
+        with pytest.raises(RepositoryError):
+            read_xml("<other/>", [UML])
+
+    def test_register_in_repository(self, uml_model):
+        repo = Repository()
+        loaded = read_xml(write_xml(uml_model), [UML], repository=repo)
+        assert repo.model("urn:cruise") is loaded
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_stable(self, uml_model):
+        once = write_json(uml_model)
+        loaded = read_json(once, [UML])
+        assert write_json(loaded) == once
+
+    def test_cross_references(self, uml_model):
+        loaded = read_json(write_json(uml_model), [UML])
+        controller = find(loaded, "CruiseController")
+        assert controller.attribute("actuator").type.name == \
+            "ThrottleActuator"
+
+    def test_single_root_convenience(self):
+        lib = TLibrary(name="solo")
+        text = write_json(lib, uri="urn:solo")
+        loaded = read_json(text, [TEST_PKG])
+        assert loaded.roots[0].name == "solo"
+
+    def test_attrs_skipped_when_default(self):
+        import json
+        book = TBook(name="b")      # pages stays at default 100 (unset)
+        document = json.loads(write_json(book))
+        assert "pages" not in document["roots"][0].get("attrs", {})
+
+    def test_xml_json_equivalent_content(self, uml_model):
+        via_xml = read_xml(write_xml(uml_model), [UML])
+        via_json = read_json(write_json(uml_model), [UML])
+        assert (sum(1 for _ in via_xml.all_elements())
+                == sum(1 for _ in via_json.all_elements()))
+
+
+class TestStereotypeSerialization:
+    @pytest.fixture
+    def annotated_model(self, factory):
+        from repro.profiles import SA_SCHEDULABLE
+        task = factory.clazz("Pump", is_active=True)
+        SA_SCHEDULABLE.apply(task, sa_period_ms=50.0, sa_wcet_ms=5.0)
+        model = Model("urn:annotated")
+        model.add_root(factory.model)
+        return model
+
+    def test_xml_roundtrips_stereotypes(self, annotated_model):
+        from repro.profiles import SA_SCHEDULABLE, SPT
+        text = write_xml(annotated_model)
+        assert "SASchedulable" in text
+        loaded = read_xml(text, [UML], profiles=[SPT])
+        pump = find(loaded, "Pump")
+        assert SA_SCHEDULABLE.is_applied_to(pump)
+        assert SA_SCHEDULABLE.value_on(pump, "sa_period_ms") == 50.0
+        # stable fixed point still holds
+        assert write_xml(loaded) == text
+
+    def test_xml_unknown_stereotype_rejected(self, annotated_model):
+        text = write_xml(annotated_model)
+        with pytest.raises(RepositoryError):
+            read_xml(text, [UML])          # profile not passed
+
+    def test_json_roundtrips_stereotypes(self, annotated_model):
+        from repro.profiles import SA_SCHEDULABLE, SPT
+        text = write_json(annotated_model)
+        loaded = read_json(text, [UML], profiles=[SPT])
+        pump = find(loaded, "Pump")
+        assert SA_SCHEDULABLE.value_on(pump, "sa_wcet_ms") == 5.0
+        assert write_json(loaded) == text
+
+    def test_analysis_works_after_reload(self, annotated_model):
+        from repro.profiles import SPT, analyze_model
+        loaded = read_xml(write_xml(annotated_model), [UML],
+                          profiles=[SPT])
+        report = analyze_model(loaded.roots[0])
+        assert report.schedulable
