@@ -1,0 +1,90 @@
+"""The lint-facing view of the shared diagnostic record.
+
+Every checker in the toolchain — the structural validator, the UML
+well-formedness rules and the lint rules in this package — emits the
+same :class:`~repro.mof.validate.Diagnostic`: severity, stable rule
+code, offending element plus containment path, message, optional fix
+hint.  This module re-exports it and adds :class:`LintReport`, the
+container the batch runner fills.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..mof.validate import (  # noqa: F401  (re-exported)
+    Diagnostic,
+    Severity,
+    ValidationReport,
+    model_path,
+)
+
+
+@dataclass
+class LintReport:
+    """All diagnostics from one lint run."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    elements_scanned: int = 0
+    rules_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.INFO]
+
+    def add(self, severity: Severity, element: Any, message: str, *,
+            code: str, hint: str = "",
+            path: Optional[str] = None) -> Diagnostic:
+        diagnostic = Diagnostic(
+            severity, element, message, None, code,
+            path=model_path(element) if path is None else path, hint=hint)
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def by_code(self) -> Dict[str, List[Diagnostic]]:
+        grouped: Dict[str, List[Diagnostic]] = {}
+        for diagnostic in self.diagnostics:
+            grouped.setdefault(diagnostic.code or "(uncoded)",
+                               []).append(diagnostic)
+        return grouped
+
+    def codes(self) -> List[str]:
+        return sorted(self.by_code())
+
+    def summary(self) -> str:
+        return (f"lint: {len(self.errors)} error(s), "
+                f"{len(self.warnings)} warning(s), "
+                f"{len(self.infos)} info(s) over "
+                f"{self.elements_scanned} element(s)")
+
+    def render(self) -> str:
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def as_validation_report(self) -> ValidationReport:
+        """Adapt to the structural validator's report type (gates,
+        :class:`~repro.method.testing.ModelTestSuite` interop)."""
+        return ValidationReport(diagnostics=list(self.diagnostics))
+
+    def __str__(self) -> str:
+        return self.render() if self.diagnostics else "lint: ok"

@@ -1,0 +1,160 @@
+"""Lint rules for activities: fork/join token-flow imbalance.
+
+=======  ============================================================
+ACT001   join starvation — the join's incoming flows can never all
+         carry a token concurrently (deadlock)
+ACT002   token overfeed — a fork sends more tokens toward a join
+         than the join consumes (leaked tokens)
+ACT003   degenerate fork — fewer than two outgoing branches
+=======  ============================================================
+
+The analysis is structural: a join is *fed* when some single fork has
+distinct branches reaching each of the join's incoming edges (checked
+with a small bipartite matching).  Cyclic activities are exempted from
+ACT001 — a loop can legitimately deliver tokens to a join across
+iterations, so only acyclic starvation is provable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from ..uml.activities import (
+    Activity,
+    ActivityNode,
+    ForkNode,
+    JoinNode,
+)
+from .diagnostics import Diagnostic
+from .registry import Severity, lint_rule
+from .runner import LintContext
+
+
+def _reachable_from(start: ActivityNode) -> Set[int]:
+    seen: Set[int] = set()
+    frontier: List[ActivityNode] = [start]
+    while frontier:
+        node = frontier.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        for edge in node.outgoing():
+            if edge.target is not None:
+                frontier.append(edge.target)
+    return seen
+
+
+def _reach_map(activity: Activity) -> Dict[int, Set[int]]:
+    return {id(node): _reachable_from(node) for node in activity.nodes}
+
+
+def _match_branches(fork: ForkNode, input_sources: List[ActivityNode],
+                    reach: Dict[int, Set[int]]) -> bool:
+    """Can each join input be fed by a *distinct* branch of *fork*?"""
+    branch_targets = [edge.target for edge in fork.outgoing()
+                      if edge.target is not None]
+    feeds = [[index for index, branch in enumerate(branch_targets)
+              if id(source) in reach.get(id(branch), set())
+              or branch is source]
+             for source in input_sources]
+
+    used: Set[int] = set()
+
+    def assign(position: int) -> bool:
+        if position == len(feeds):
+            return True
+        for branch_index in feeds[position]:
+            if branch_index in used:
+                continue
+            used.add(branch_index)
+            if assign(position + 1):
+                return True
+            used.remove(branch_index)
+        return False
+
+    return assign(0)
+
+
+@lint_rule("ACT001", "join-starvation", "activity",
+           description="joins whose incoming flows cannot all carry a "
+                       "token concurrently")
+def check_join_starvation(activity: Activity,
+                          ctx: LintContext) -> Iterable[Diagnostic]:
+    reach = ctx.cache.setdefault(("act-reach", id(activity)),
+                                 _reach_map(activity))
+    initial = activity.initial_node()
+    initial_reach = reach.get(id(initial), set()) if initial else set()
+    forks = [node for node in activity.nodes if isinstance(node, ForkNode)]
+    for join in activity.nodes:
+        if not isinstance(join, JoinNode):
+            continue
+        sources = [edge.source for edge in join.incoming()
+                   if edge.source is not None]
+        if len(sources) < 2:
+            continue                  # uml-act-join covers degenerate joins
+        in_cycle = any(id(join) in reach.get(id(edge.target), set())
+                       for edge in join.outgoing()
+                       if edge.target is not None)
+        if in_cycle:
+            continue                  # join inside a cycle: tokens recur
+        unreached = [source for source in sources
+                     if initial is not None
+                     and id(source) not in initial_reach]
+        if unreached:
+            names = ", ".join(f"'{node.name}'" for node in unreached)
+            yield ctx.diag(
+                join,
+                f"join '{join.name}' can never fire: incoming flow(s) "
+                f"from {names} are unreachable from the initial node",
+                hint="connect the dead branch or drop the join input")
+            continue
+        if not any(_match_branches(fork, sources, reach) for fork in forks):
+            yield ctx.diag(
+                join,
+                f"join '{join.name}' waits for {len(sources)} tokens but "
+                f"no fork produces them on distinct branches — its inputs "
+                f"are sequential or mutually exclusive (deadlock)",
+                hint="fan the flows out of a fork, or use a merge node "
+                     "instead of a join")
+
+
+@lint_rule("ACT002", "token-overfeed", "activity",
+           severity=Severity.WARNING,
+           description="forks sending more tokens toward a join than it "
+                       "consumes")
+def check_token_overfeed(activity: Activity,
+                         ctx: LintContext) -> Iterable[Diagnostic]:
+    reach = ctx.cache.setdefault(("act-reach", id(activity)),
+                                 _reach_map(activity))
+    joins = [node for node in activity.nodes if isinstance(node, JoinNode)]
+    for fork in activity.nodes:
+        if not isinstance(fork, ForkNode):
+            continue
+        branch_targets = [edge.target for edge in fork.outgoing()
+                          if edge.target is not None]
+        for join in joins:
+            feeding = [branch for branch in branch_targets
+                       if id(join) in reach.get(id(branch), set())]
+            consumed = len(join.incoming())
+            if len(feeding) > consumed:
+                yield ctx.diag(
+                    fork,
+                    f"fork '{fork.name}' sends {len(feeding)} tokens "
+                    f"toward join '{join.name}', which only consumes "
+                    f"{consumed} — the excess tokens leak",
+                    hint="balance the fork's branches against the "
+                         "join's incoming edges")
+
+
+@lint_rule("ACT003", "degenerate-fork", "activity",
+           severity=Severity.WARNING,
+           description="forks with fewer than two outgoing branches")
+def check_degenerate_fork(activity: Activity,
+                          ctx: LintContext) -> Iterable[Diagnostic]:
+    for node in activity.nodes:
+        if isinstance(node, ForkNode) and len(node.outgoing()) < 2:
+            yield ctx.diag(
+                node,
+                f"fork '{node.name}' has {len(node.outgoing())} outgoing "
+                f"branch(es) — a fork should split the flow",
+                hint="remove the fork or add branches")

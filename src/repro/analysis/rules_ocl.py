@@ -1,0 +1,250 @@
+"""Lint rules running the OCL static type checker over a model's
+expressions: registered invariants, state-machine transition guards and
+activity edge guards.
+
+=======  ============================================================
+OCL101   a registered invariant fails to typecheck against its
+         context metaclass
+OCL102   a transition guard fails to typecheck against the owning
+         class's attributes
+OCL103   an activity edge guard fails to typecheck
+=======  ============================================================
+
+The emitted diagnostics carry the *underlying* checker codes
+(``OCL001``–``OCL010``) so a finding reads the same whether it came
+from :func:`repro.ocl.typecheck` directly or from a lint run; the rule
+codes above only name the rules for enable/disable purposes.
+
+Guard checking types ``self`` with :class:`ClassifierView` — the UML
+(M1) counterpart of the checker's built-in MOF adapter — so navigation
+through :class:`~repro.uml.features.Property` ends and calls of
+:class:`~repro.uml.features.Operation` signatures are statically
+typed.  Variables the simulators create dynamically (action-language
+assignments, event arguments ``arg0``..``arg9``) are typed ``OclAny``
+so gradual typing keeps them out of the false-positive zone.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, List, Optional
+
+from ..mof.kernel import MetaClass
+from ..ocl.typecheck import (
+    ANY,
+    BOOLEAN,
+    INTEGER,
+    REAL,
+    STRING,
+    CollectionType,
+    ObjectType,
+    ObjectTypeView,
+    OclType,
+    TypeEnv,
+    typecheck,
+)
+from ..uml.activities import Activity
+from ..uml.classifiers import (
+    Classifier,
+    Enumeration,
+    PrimitiveDataType,
+    StructuredClassifier,
+)
+from ..uml.statemachines import State, StateMachine
+from .diagnostics import Diagnostic
+from .registry import lint_rule
+from .runner import LintContext
+
+_UML_PRIMITIVES = {"String": STRING, "Integer": INTEGER,
+                   "Real": REAL, "Boolean": BOOLEAN}
+
+
+def uml_type_to_ocl(uml_type: Optional[Classifier]) -> OclType:
+    """Map an M1 classifier to the checker's type lattice."""
+    if uml_type is None:
+        return ANY
+    if isinstance(uml_type, PrimitiveDataType):
+        return _UML_PRIMITIVES.get(uml_type.name, ANY)
+    if isinstance(uml_type, Enumeration):
+        return STRING                     # literals evaluate to their names
+    if isinstance(uml_type, Classifier):
+        return ObjectType(ClassifierView(uml_type))
+    return ANY
+
+
+class ClassifierView(ObjectTypeView):
+    """Types navigation through a UML :class:`StructuredClassifier`."""
+
+    def __init__(self, classifier: Classifier):
+        self.classifier = classifier
+
+    def type_name(self) -> str:
+        return self.classifier.name
+
+    def feature_type(self, name: str) -> Optional[OclType]:
+        if not isinstance(self.classifier, StructuredClassifier):
+            return None
+        prop = self.classifier.attribute(name)
+        if prop is None:
+            return None
+        base = uml_type_to_ocl(prop.type)
+        if prop.is_many:
+            return CollectionType("Collection", base)
+        return base
+
+    def feature_names(self) -> List[str]:
+        if not isinstance(self.classifier, StructuredClassifier):
+            return []
+        return sorted(p.name for p in self.classifier.all_attributes())
+
+    def operation_signature(self, name: str):
+        if not isinstance(self.classifier, StructuredClassifier):
+            return None
+        operation = self.classifier.operation(name)
+        if operation is None:
+            return None
+        params = [uml_type_to_ocl(p.type)
+                  for p in operation.in_parameters()]
+        return params, uml_type_to_ocl(operation.return_type())
+
+    def has_fallback(self, name: str) -> bool:
+        return False
+
+    def conforms_to(self, other: ObjectTypeView) -> bool:
+        if isinstance(other, ClassifierView):
+            return self.classifier.conforms_to(other.classifier)
+        return False
+
+    def __eq__(self, other: Any) -> bool:
+        return (isinstance(other, ClassifierView)
+                and other.classifier is self.classifier)
+
+    def __hash__(self) -> int:
+        return hash(id(self.classifier))
+
+
+# ---------------------------------------------------------------------------
+# Guard environments
+# ---------------------------------------------------------------------------
+
+_ASSIGN_TARGET = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _harvest_assigned_names(programs: Iterable[str]) -> List[str]:
+    """Variable names the action language would create at run time."""
+    names: List[str] = []
+    for program in programs:
+        for statement in re.split(r"[;\n]", program or ""):
+            if ":=" not in statement:
+                continue
+            target = statement.split(":=", 1)[0].strip()
+            if target.startswith("self."):
+                target = target[len("self."):]
+            if _ASSIGN_TARGET.match(target) and target not in names:
+                names.append(target)
+    return names
+
+
+def _guard_env(action_programs: Iterable[str]) -> TypeEnv:
+    env = TypeEnv()
+    for name in _harvest_assigned_names(action_programs):
+        env.define(name, ANY)
+    for index in range(10):               # event arguments
+        env.define(f"arg{index}", ANY)
+    return env
+
+
+def _owning_classifier(element: Any) -> Optional[StructuredClassifier]:
+    container = element.container
+    if isinstance(container, StructuredClassifier):
+        return container
+    return None
+
+
+def _check_guard(guard: str, *, owner: Optional[StructuredClassifier],
+                 env: TypeEnv):
+    """Typecheck one guard; returns the checker's issue list."""
+    context = ClassifierView(owner) if owner is not None else None
+    if context is None:
+        # no declared attributes to check against: syntax + shape only
+        result = typecheck(guard, context=ANY, env=env,
+                           expect_boolean=True)
+        return [issue for issue in result.issues
+                if issue.code in ("OCL003", "OCL008")]
+    return typecheck(guard, context=context, env=env,
+                     expect_boolean=True).issues
+
+
+# ---------------------------------------------------------------------------
+# The rules
+# ---------------------------------------------------------------------------
+
+
+@lint_rule("OCL101", "invariant-typecheck", "metaclass",
+           description="registered OCL invariants that fail to typecheck "
+                       "against their context metaclass")
+def check_invariants_typecheck(metaclass: MetaClass,
+                               ctx: LintContext) -> Iterable[Diagnostic]:
+    for invariant in metaclass.invariants:
+        packages = list(getattr(invariant, "packages", None) or [])
+        if metaclass.package is not None \
+                and metaclass.package not in packages:
+            packages.append(metaclass.package)
+        env = TypeEnv()
+        for package in packages:
+            env.register_metapackage(package)
+        result = typecheck(invariant.ast, context=metaclass, env=env,
+                           expect_boolean=True)
+        for issue in result.issues:
+            yield ctx.diag(
+                metaclass,
+                f"invariant '{invariant.name}' "
+                f"({invariant.expression!r}): {issue.message}",
+                code=issue.code, hint=issue.hint)
+
+
+@lint_rule("OCL102", "guard-typecheck", "statemachine",
+           description="transition guards that fail to typecheck against "
+                       "the owning class")
+def check_guards_typecheck(machine: StateMachine,
+                           ctx: LintContext) -> Iterable[Diagnostic]:
+    owner = _owning_classifier(machine)
+    programs = [transition.effect for transition in
+                machine.all_transitions()]
+    for vertex in machine.all_vertices():
+        if isinstance(vertex, State):
+            programs.extend((vertex.entry, vertex.exit,
+                             vertex.do_activity))
+    env = _guard_env(programs)
+    for transition in machine.all_transitions():
+        guard = (transition.guard or "").strip()
+        if not guard:
+            continue
+        for issue in _check_guard(guard, owner=owner, env=env):
+            source = transition.source.name if transition.source else "?"
+            yield ctx.diag(
+                transition,
+                f"guard [{guard}] on transition from '{source}': "
+                f"{issue.message}",
+                code=issue.code, hint=issue.hint)
+
+
+@lint_rule("OCL103", "activity-guard-typecheck", "activity",
+           description="activity edge guards that fail to typecheck")
+def check_activity_guards_typecheck(activity: Activity,
+                                    ctx: LintContext
+                                    ) -> Iterable[Diagnostic]:
+    owner = _owning_classifier(activity)
+    programs = [action.body for action in activity.actions()]
+    env = _guard_env(programs)
+    for edge in activity.edges:
+        guard = (edge.guard or "").strip()
+        if not guard or guard == "else":
+            continue
+        for issue in _check_guard(guard, owner=owner, env=env):
+            source = edge.source.name if edge.source else "?"
+            yield ctx.diag(
+                edge,
+                f"guard [{guard}] on edge from '{source}': "
+                f"{issue.message}",
+                code=issue.code, hint=issue.hint)

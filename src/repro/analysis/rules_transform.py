@@ -1,0 +1,118 @@
+"""Lint rules for transformation rule sets: shadowing and claim conflicts.
+
+=======  ============================================================
+TR001    dead rule — an earlier exclusive, guardless rule claims every
+         element the later rule could match, so it never applies
+TR002    order-dependent claim — two exclusive rules compete for the
+         same source metaclass and only rule order decides the winner
+TR003    duplicate images — a lazy rule shares its source metaclass
+         with an eager rule, so on-demand application can produce a
+         second image of an already-transformed element
+=======  ============================================================
+
+These mirror the engine's create-phase semantics exactly: non-lazy
+rules are offered elements in declaration order, and an exclusive match
+stops the search (:mod:`repro.transform.engine`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..transform.rule import Rule
+from .diagnostics import Diagnostic
+from .registry import Severity, lint_rule
+from .runner import LintContext
+
+
+def _sources_overlap(first: Rule, second: Rule) -> bool:
+    """Can one element conform to both rules' source metaclasses?"""
+    return (first._source_meta.conforms_to(second._source_meta)
+            or second._source_meta.conforms_to(first._source_meta))
+
+
+def _claims_everything(rule: Rule, other: Rule) -> bool:
+    """Does *rule* (earlier, exclusive, guardless) claim every element
+    *other* could match?"""
+    return (rule.exclusive and not rule.lazy and rule.guard is None
+            and other._source_meta.conforms_to(rule._source_meta))
+
+
+@lint_rule("TR001", "dead-rule", "transformation",
+           description="rules shadowed by an earlier exclusive, "
+                       "guardless rule on the same source metaclass")
+def check_dead_rules(transformation,
+                     ctx: LintContext) -> Iterable[Diagnostic]:
+    rules: List[Rule] = list(transformation.rules)
+    dead = ctx.cache.setdefault(("tr-dead", id(transformation)), set())
+    for index, rule in enumerate(rules):
+        if rule.lazy:
+            continue
+        for earlier in rules[:index]:
+            if earlier.lazy or not _claims_everything(earlier, rule):
+                continue
+            dead.add(rule.name)
+            yield ctx.diag(
+                rule,
+                f"rule '{rule.name}' (source {rule._source_meta.name}) "
+                f"can never apply: earlier exclusive rule "
+                f"'{earlier.name}' claims every "
+                f"{earlier._source_meta.name} first",
+                hint=f"reorder '{rule.name}' before '{earlier.name}', "
+                     f"add a guard to '{earlier.name}', or mark it "
+                     f"non-exclusive")
+            break
+
+
+@lint_rule("TR002", "order-dependent-claim", "transformation",
+           severity=Severity.WARNING,
+           description="exclusive rules whose claims on a shared source "
+                       "metaclass depend on declaration order")
+def check_order_dependent_claims(transformation,
+                                 ctx: LintContext) -> Iterable[Diagnostic]:
+    rules = [r for r in transformation.rules if not r.lazy]
+    dead = ctx.cache.get(("tr-dead", id(transformation)), set())
+    for index, first in enumerate(rules):
+        if not first.exclusive:
+            continue
+        for second in rules[index + 1:]:
+            if not second.exclusive or second.name in dead:
+                continue
+            if not _sources_overlap(first, second):
+                continue
+            if first.guard is None:
+                continue              # total shadowing: that's TR001
+            yield ctx.diag(
+                second,
+                f"rules '{first.name}' and '{second.name}' both claim "
+                f"{second._source_meta.name} elements exclusively; "
+                f"elements matching both guards go to "
+                f"'{first.name}' only because it is declared first",
+                hint="make the guards mutually exclusive or merge the "
+                     "rules")
+
+
+@lint_rule("TR003", "lazy-eager-duplicate", "transformation",
+           severity=Severity.WARNING,
+           description="lazy rules whose source metaclass an eager rule "
+                       "already transforms (duplicate images)")
+def check_lazy_eager_duplicates(transformation,
+                                ctx: LintContext) -> Iterable[Diagnostic]:
+    rules: List[Rule] = list(transformation.rules)
+    for lazy in rules:
+        if not lazy.lazy:
+            continue
+        for eager in rules:
+            if eager.lazy or not eager.exclusive:
+                continue
+            if not _sources_overlap(lazy, eager):
+                continue
+            yield ctx.diag(
+                lazy,
+                f"lazy rule '{lazy.name}' and eager rule '{eager.name}' "
+                f"both transform {lazy._source_meta.name}: applying "
+                f"'{lazy.name}' on demand creates a second image of an "
+                f"element '{eager.name}' already transformed",
+                hint="narrow one rule's source type or resolve through "
+                     "the trace before applying the lazy rule")
+            break

@@ -1,0 +1,28 @@
+"""Bridge the UML well-formedness rules into the lint registry.
+
+:mod:`repro.uml.wellformed` predates the lint engine and keeps its
+``check_model`` entry point; since both sides speak the shared
+:class:`~repro.mof.validate.Diagnostic`, the bridge is a pass-through —
+``python -m repro lint`` thereby covers well-formedness too, with the
+``uml-*`` codes individually disablable through
+:class:`~repro.analysis.registry.LintConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..uml.package import Package
+from ..uml.wellformed import check_model
+from .diagnostics import Diagnostic
+from .registry import lint_rule
+from .runner import LintContext
+
+
+@lint_rule("UML100", "uml-wellformed", "model",
+           description="the UML well-formedness rule set "
+                       "(diagnostics keep their uml-* codes)")
+def check_wellformedness(root, ctx: LintContext) -> Iterable[Diagnostic]:
+    if not isinstance(root, Package):
+        return
+    yield from check_model(root).diagnostics

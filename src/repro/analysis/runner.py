@@ -1,0 +1,140 @@
+"""The batch lint runner: one walk over a model, rules dispatched by kind.
+
+The runner traverses each root's containment tree exactly once,
+bucketing what the registered rules care about (state machines,
+activities, the set of metaclasses in use), then hands every bucket to
+the matching rules.  Severity overrides and disabled codes from the
+:class:`~repro.analysis.registry.LintConfig` are applied to the emitted
+diagnostics before they reach the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..mof.kernel import Element, MetaClass
+from ..uml.activities import Activity
+from ..uml.statemachines import StateMachine
+from .diagnostics import Diagnostic, LintReport, Severity, model_path
+from .registry import DEFAULT_REGISTRY, LintConfig, LintRule, RuleRegistry
+
+
+class LintContext:
+    """What a rule may consult while checking one target."""
+
+    def __init__(self, root: Optional[Element], config: LintConfig,
+                 registry: RuleRegistry):
+        self.root = root
+        self.config = config
+        self.registry = registry
+        self.cache: Dict[Any, Any] = {}
+        self.current_rule: Optional[LintRule] = None
+
+    def diag(self, element: Any, message: str, *,
+             code: Optional[str] = None,
+             severity: Optional[Severity] = None,
+             hint: str = "") -> Diagnostic:
+        """Build a diagnostic defaulting to the running rule's identity."""
+        rule = self.current_rule
+        return Diagnostic(
+            severity or (rule.severity if rule else Severity.ERROR),
+            element, message, None,
+            code or (rule.code if rule else ""),
+            path=model_path(element), hint=hint)
+
+
+class ModelLinter:
+    """Runs every applicable registered rule over models."""
+
+    def __init__(self, registry: Optional[RuleRegistry] = None,
+                 config: Optional[LintConfig] = None):
+        self.registry = registry or DEFAULT_REGISTRY
+        self.config = config or LintConfig()
+
+    # -- model lint --------------------------------------------------------
+
+    def lint(self, *roots: Element) -> LintReport:
+        report = LintReport()
+        for root in roots:
+            self._lint_root(root, report)
+        return report
+
+    def _lint_root(self, root: Element, report: LintReport) -> None:
+        context = LintContext(root, self.config, self.registry)
+
+        # the single walk: bucket targets by kind
+        machines: List[StateMachine] = []
+        activities: List[Activity] = []
+        metaclasses: Dict[int, MetaClass] = {}
+        count = 0
+        for element in self._walk(root):
+            count += 1
+            if isinstance(element, StateMachine):
+                machines.append(element)
+            elif isinstance(element, Activity):
+                activities.append(element)
+            for metaclass in ([element.meta]
+                              + element.meta.all_superclasses()):
+                metaclasses.setdefault(id(metaclass), metaclass)
+        report.elements_scanned += count
+
+        self._dispatch("model", [root], context, report)
+        self._dispatch("statemachine", machines, context, report)
+        self._dispatch("activity", activities, context, report)
+        self._dispatch("metaclass", list(metaclasses.values()),
+                       context, report)
+
+    @staticmethod
+    def _walk(root: Element) -> Iterable[Element]:
+        yield root
+        yield from root.all_contents()
+
+    # -- transformation lint ----------------------------------------------
+
+    def lint_transformation(self, transformation: Any) -> LintReport:
+        report = LintReport()
+        context = LintContext(None, self.config, self.registry)
+        self._dispatch("transformation", [transformation], context, report)
+        return report
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self, target_kind: str, targets: List[Any],
+                  context: LintContext, report: LintReport) -> None:
+        if not targets:
+            return
+        for rule in self.registry.rules(target_kind, self.config):
+            context.current_rule = rule
+            report.rules_run += 1
+            for target in targets:
+                for diagnostic in rule.check(target, context):
+                    self._emit(diagnostic, report)
+            context.current_rule = None
+
+    def _emit(self, diagnostic: Diagnostic, report: LintReport) -> None:
+        if not self.config.allows(diagnostic):
+            return
+        effective = self.config.effective_severity(diagnostic)
+        if effective is not diagnostic.severity:
+            diagnostic = replace(diagnostic, severity=effective)
+        report.diagnostics.append(diagnostic)
+
+
+# ---------------------------------------------------------------------------
+# Convenience entry points
+# ---------------------------------------------------------------------------
+
+
+def lint_model(*roots: Element,
+               registry: Optional[RuleRegistry] = None,
+               config: Optional[LintConfig] = None) -> LintReport:
+    """Lint one or more model roots with the default registry."""
+    return ModelLinter(registry, config).lint(*roots)
+
+
+def lint_transformation(transformation: Any, *,
+                        registry: Optional[RuleRegistry] = None,
+                        config: Optional[LintConfig] = None) -> LintReport:
+    """Run the transformation-conflict rules over a rule set."""
+    return ModelLinter(registry, config).lint_transformation(transformation)

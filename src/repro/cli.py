@@ -3,6 +3,7 @@
 ::
 
     python -m repro validate  model.xmi
+    python -m repro lint      model.xmi
     python -m repro metrics   model.xmi
     python -m repro check     model.xmi --platform posix
     python -m repro transform model.xmi --platform posix -o psm.xmi
@@ -23,6 +24,7 @@ import os
 import sys
 from typing import List, Optional
 
+from .analysis import DEFAULT_REGISTRY, LintConfig, ModelLinter
 from .codegen import generate_c, generate_java, generate_systemc, \
     lower_model
 from .method import check_domain_purity
@@ -101,6 +103,26 @@ def cmd_validate(args: argparse.Namespace) -> int:
                 for diagnostic in report.errors:
                     print(f"  {diagnostic}")
     return 1 if failures else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in sorted(DEFAULT_REGISTRY.all_rules(),
+                           key=lambda r: r.code):
+            print(f"{rule.code:<8}{rule.name:<28}{rule.target:<15}"
+                  f"{rule.severity.value}")
+        return 0
+    if not args.model:
+        print("error: a model file is required (or --list-rules)",
+              file=sys.stderr)
+        return 2
+    model = load_model(args.model)
+    config = LintConfig(disabled=set(args.disable or []),
+                        enabled=set(args.enable or []))
+    report = ModelLinter(config=config).lint(*model.roots)
+    print(report.render())
+    clean = report.ok and not (args.strict and report.warnings)
+    return 0 if clean else 1
 
 
 def cmd_metrics(args: argparse.Namespace) -> int:
@@ -284,21 +306,53 @@ def cmd_convert(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="UML/MDA toolchain (reproduction of Oliver, DATE'05)")
+        description="UML/MDA toolchain (reproduction of Oliver, DATE'05)",
+        epilog="exit codes: 0 = clean, 1 = findings reported "
+               "(validation errors, lint errors, pollution, missed "
+               "deadlines, model differences), 2 = usage or model "
+               "load error")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("validate", help="structural + well-formedness "
-                                        "checks")
+    p = sub.add_parser(
+        "validate", help="structural + well-formedness checks",
+        description="Validate a model structurally and against the UML "
+                    "well-formedness rules.",
+        epilog="exit codes: 0 = clean, 1 = errors found, "
+               "2 = usage/load error")
     p.add_argument("model")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser(
+        "lint", help="static analysis: OCL type checking, dead code, "
+                     "conflicts",
+        description="Run the model lint engine: static OCL type "
+                    "checking of invariants and guards, dead-state and "
+                    "dead-transition detection, nondeterministic "
+                    "transition conflicts, and fork/join imbalance.",
+        epilog="exit codes: 0 = clean, 1 = lint errors (or warnings "
+               "with --strict), 2 = usage/load error")
+    p.add_argument("model", nargs="?",
+                   help="model file (.xmi/.xml/.json)")
+    p.add_argument("--disable", action="append", metavar="CODE",
+                   help="disable a rule by code or name (repeatable)")
+    p.add_argument("--enable", action="append", metavar="CODE",
+                   help="enable an opt-in rule (repeatable)")
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as failures")
+    p.add_argument("--list-rules", action="store_true",
+                   help="list registered rules and exit")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("metrics", help="design metrics")
     p.add_argument("model")
     p.add_argument("--per-class", action="store_true")
     p.set_defaults(fn=cmd_metrics)
 
-    p = sub.add_parser("check", help="domain/platform pollution check")
+    p = sub.add_parser(
+        "check", help="domain/platform pollution check",
+        epilog="exit codes: 0 = clean, 1 = pollution found, "
+               "2 = usage/load error")
     p.add_argument("model")
     p.add_argument("--platform", action="append",
                    choices=sorted(PLATFORMS))

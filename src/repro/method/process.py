@@ -25,12 +25,18 @@ from .testing import ModelTestSuite, SuiteResult
 
 @dataclass
 class Phase:
-    """One rung of the process ladder."""
+    """One rung of the process ladder.
+
+    ``lint`` adds a static-analysis gate: the phase refuses to proceed
+    when the lint engine reports errors on the phase's input models
+    (in addition to whatever the test suite demands).
+    """
 
     name: str
     suite: Optional[ModelTestSuite] = None
     transformation: Optional[Transformation] = None
     platform: Optional[PlatformModel] = None
+    lint: bool = False
 
 
 @dataclass
@@ -39,10 +45,13 @@ class PhaseRecord:
     suite_result: Optional[SuiteResult]
     transformed: bool
     result: Optional[TransformationResult] = None
+    lint_report: Optional[Any] = None     # analysis.LintReport when linted
 
     @property
     def gate_passed(self) -> bool:
-        return self.suite_result is None or self.suite_result.passed
+        suite_ok = self.suite_result is None or self.suite_result.passed
+        lint_ok = self.lint_report is None or self.lint_report.ok
+        return suite_ok and lint_ok
 
 
 @dataclass
@@ -72,8 +81,9 @@ class DevelopmentProcess:
     def add_phase(self, name: str, *,
                   suite: Optional[ModelTestSuite] = None,
                   transformation: Optional[Transformation] = None,
-                  platform: Optional[PlatformModel] = None) -> Phase:
-        phase = Phase(name, suite, transformation, platform)
+                  platform: Optional[PlatformModel] = None,
+                  lint: bool = False) -> Phase:
+        phase = Phase(name, suite, transformation, platform, lint)
         self.phases.append(phase)
         return phase
 
@@ -90,10 +100,16 @@ class DevelopmentProcess:
         run = ProcessRun()
         for phase in self.phases:
             suite_result = phase.suite.run(roots) if phase.suite else None
-            gate_ok = suite_result is None or suite_result.passed
+            lint_report = None
+            if phase.lint:
+                from ..analysis import lint_model
+                lint_report = lint_model(*roots)
+            gate_ok = ((suite_result is None or suite_result.passed)
+                       and (lint_report is None or lint_report.ok))
             if not gate_ok and enforce_gates:
-                run.records.append(PhaseRecord(phase.name, suite_result,
-                                               transformed=False))
+                run.records.append(PhaseRecord(
+                    phase.name, suite_result, transformed=False,
+                    lint_report=lint_report))
                 run.stopped_at = phase.name
                 run.final_roots = roots
                 return run
@@ -104,7 +120,8 @@ class DevelopmentProcess:
                 roots = list(result.target_roots)
             run.records.append(PhaseRecord(
                 phase.name, suite_result,
-                transformed=result is not None, result=result))
+                transformed=result is not None, result=result,
+                lint_report=lint_report))
         run.final_roots = roots
         return run
 

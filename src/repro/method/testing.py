@@ -103,6 +103,18 @@ class ModelTestSuite:
             return report
         return self.add("uml-wellformedness", run)
 
+    def add_lint(self, *, disable: Sequence[str] = ()
+                 ) -> "ModelTestSuite":
+        """The static-analysis lint gate: OCL type checking, dead code,
+        transition conflicts, fork/join imbalance."""
+        def run(roots: List[Element]) -> ValidationReport:
+            from ..analysis import LintConfig, ModelLinter
+            linter = ModelLinter(config=LintConfig(
+                disabled=set(disable)))
+            return linter.lint(*roots).as_validation_report()
+        return self.add("static-analysis-lint", run,
+                        "model lint engine (repro.analysis)")
+
     def add_constraints(self, constraints: ConstraintSet
                         ) -> "ModelTestSuite":
         """An OCL constraint set (one per level, per the paper)."""

@@ -76,6 +76,7 @@ from .validate import (
     Diagnostic,
     Severity,
     ValidationReport,
+    model_path,
     validate_element,
     validate_model,
     validate_tree,
@@ -93,7 +94,7 @@ __all__ = [
     "UnknownFeatureError", "ValidationReport", "add_attribute",
     "add_reference", "all_contents", "closure", "cross_references",
     "define_class", "define_enum", "define_package", "find_by_name",
-    "instances_of", "navigate", "path", "primitive_by_name",
+    "instances_of", "model_path", "navigate", "path", "primitive_by_name",
     "referenced_elements", "select", "validate_element", "validate_model",
     "validate_tree",
 ]

@@ -23,19 +23,56 @@ class Severity(enum.Enum):
     INFO = "info"
 
 
+def model_path(element: Any) -> str:
+    """A stable, human-readable location of *element* in its model: the
+    containment chain of names (metaclass name where unnamed), joined
+    with ``/``.  Works for any kernel element; non-elements yield ""."""
+    if not isinstance(element, Element):
+        return ""
+    parts: List[str] = []
+    node: Optional[Element] = element
+    while isinstance(node, Element):
+        try:
+            label = node.eget("name") if "name" in node.meta.all_features() \
+                else ""
+        except Exception:
+            label = ""
+        parts.append(label or node.meta.name)
+        node = node.container
+    return "/".join(reversed(parts))
+
+
 @dataclass
 class Diagnostic:
-    """One validation finding."""
+    """One finding — the record shared by every checker in the toolchain.
+
+    The structural validator, the UML well-formedness rules and the
+    :mod:`repro.analysis` lint engine all emit this same shape: a
+    severity, a stable rule ``code`` (e.g. ``OCL001``, ``SM003``,
+    ``uml-unique-name``), the offending element plus its containment
+    ``path``, the message, and an optional fix ``hint``.
+    """
 
     severity: Severity
     element: Any
     message: str
     feature: Optional[Feature] = None
     code: str = ""
+    path: str = ""
+    hint: str = ""
 
     def __str__(self) -> str:
         where = f" [{self.feature.name}]" if self.feature else ""
         return f"{self.severity.value}: {self.element!r}{where}: {self.message}"
+
+    def render(self) -> str:
+        """The lint-style one-liner: ``severity code path: message``."""
+        code = f" {self.code}" if self.code else ""
+        where = self.path or repr(self.element)
+        text = f"{self.severity.value}{code} {where}: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
 
 
 @dataclass
@@ -59,9 +96,11 @@ class ValidationReport:
                 if d.severity is Severity.WARNING]
 
     def add(self, severity: Severity, element: Any, message: str,
-            feature: Optional[Feature] = None, code: str = "") -> None:
+            feature: Optional[Feature] = None, code: str = "",
+            hint: str = "") -> None:
         self.diagnostics.append(
-            Diagnostic(severity, element, message, feature, code))
+            Diagnostic(severity, element, message, feature, code,
+                       path=model_path(element), hint=hint))
 
     def extend(self, other: "ValidationReport") -> None:
         self.diagnostics.extend(other.diagnostics)

@@ -18,11 +18,19 @@ from .evaluator import Environment, OclEvaluator, evaluate
 from .invariants import ConstraintSet, Invariant, invariant
 from .lexer import Token, TokenKind, tokenize
 from .parser import parse
+from .typecheck import (
+    OclTypeChecker,
+    TypeCheckResult,
+    TypeEnv,
+    TypeIssue,
+    typecheck,
+)
 from .unparse import unparse
 
 __all__ = [
     "ConstraintSet", "Environment", "Invariant", "Node", "OclError",
-    "OclEvaluationError", "OclEvaluator", "OclSyntaxError", "OclTypeError",
-    "Token", "TokenKind", "evaluate", "invariant", "parse", "tokenize",
+    "OclEvaluationError", "OclEvaluator", "OclSyntaxError", "OclTypeChecker",
+    "OclTypeError", "Token", "TokenKind", "TypeCheckResult", "TypeEnv",
+    "TypeIssue", "evaluate", "invariant", "parse", "tokenize", "typecheck",
     "unparse",
 ]

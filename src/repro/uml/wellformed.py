@@ -5,9 +5,13 @@ development": that objects shown in interactions exist in the class model,
 that inheritance is acyclic taxonomy rather than a development trick, that
 state machines are executable, and that names are unambiguous.
 
-Each rule appends :class:`~repro.mof.validate.Diagnostic` entries to a
-shared :class:`~repro.mof.validate.ValidationReport`; ``check_model`` runs
-all of them.
+Each rule appends :class:`~repro.mof.validate.Diagnostic` entries — the
+record shared with the structural validator and the
+:mod:`repro.analysis` lint engine, carrying a stable ``uml-*`` code,
+the element's containment path and an optional fix hint — to a shared
+:class:`~repro.mof.validate.ValidationReport`; ``check_model`` runs all
+of them (and stays the backward-compatible entry point; the lint
+engine re-runs the same rules through its registry).
 """
 
 from __future__ import annotations
@@ -47,12 +51,14 @@ def rule_unique_member_names(root: Package, report: ValidationReport) -> None:
         for member in pkg.packaged_elements:
             if not member.name:
                 report.add(Severity.WARNING, member,
-                           "unnamed packaged element", code="uml-name")
+                           "unnamed packaged element", code="uml-name",
+                           hint="give the element a name")
                 continue
             if member.name in seen:
                 report.add(Severity.ERROR, member,
                            f"duplicate name '{member.name}' in package "
-                           f"'{pkg.name}'", code="uml-unique-name")
+                           f"'{pkg.name}'", code="uml-unique-name",
+                           hint="rename one of the clashing members")
             seen.add(member.name)
 
 
@@ -62,7 +68,8 @@ def rule_no_generalization_cycles(root: Package,
     for classifier in instances_of(root, Classifier):
         if classifier in classifier.all_supers():
             report.add(Severity.ERROR, classifier,
-                       "generalization cycle", code="uml-gen-cycle")
+                       "generalization cycle", code="uml-gen-cycle",
+                       hint="remove one generalization to restore the taxonomy")
 
 
 def rule_typed_properties(root: Package, report: ValidationReport) -> None:
@@ -70,7 +77,8 @@ def rule_typed_properties(root: Package, report: ValidationReport) -> None:
     for prop in instances_of(root, Property):
         if prop.type is None:
             report.add(Severity.WARNING, prop,
-                       "untyped property", code="uml-untyped")
+                       "untyped property", code="uml-untyped",
+                       hint="set the property's type")
 
 
 def rule_association_ends(root: Package, report: ValidationReport) -> None:
@@ -99,7 +107,9 @@ def rule_lifelines_represent_classifiers(root: Package,
             report.add(Severity.ERROR, lifeline,
                        f"lifeline '{lifeline.name}' of interaction "
                        f"'{interaction.name}' does not represent any "
-                       f"classifier", code="uml-floating-lifeline")
+                       f"classifier", code="uml-floating-lifeline",
+                       hint="set lifeline.represents to a class of the "
+                            "model")
 
 
 def rule_messages_match_operations(root: Package,
@@ -145,7 +155,9 @@ def rule_statemachine_initial(root: Package,
                 report.add(Severity.ERROR, region,
                            f"region '{region.name}' has {len(initials)} "
                            f"initial pseudostates, expected 1",
-                           code="uml-sm-initial")
+                           code="uml-sm-initial",
+                           hint="add one initial pseudostate with a "
+                                "single outgoing transition")
             for initial in initials:
                 if len(initial.outgoing()) != 1:
                     report.add(Severity.ERROR, initial,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from ..analysis import LintConfig, ModelLinter
 from ..method.concerns import check_domain_purity
 from ..mof.validate import validate_tree
 from ..platforms.base import PlatformModel
@@ -74,6 +75,15 @@ def quality_report(root: Package, *,
     lines += [str(d) for d in wellformed.warnings]
     report.sections.append(SectionResult(
         "uml well-formedness", wellformed.ok, lines or ["no findings"]))
+
+    # the well-formedness section above already reports the uml-* rules;
+    # the lint section covers the behavioural/OCL analyses on top
+    lint = ModelLinter(config=LintConfig(
+        disabled={"uml-wellformed"})).lint(root)
+    lines = [d.render() for d in lint.errors]
+    lines += [d.render() for d in lint.warnings]
+    report.sections.append(SectionResult(
+        "static analysis (lint)", lint.ok, lines or [lint.summary()]))
 
     metrics = compute_model_metrics(root)
     metric_ok = (metrics.coupling_density <= max_coupling_density

@@ -55,6 +55,64 @@ class TestValidate:
         assert main(["validate", "/nonexistent.xmi"]) == 2
 
 
+class TestLint:
+    def test_clean_model(self, model_file, capsys):
+        assert main(["lint", model_file]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_defective_model(self, factory, tmp_path, capsys):
+        from repro.uml import StateMachine
+        cls = factory.clazz("C")
+        machine = StateMachine(name="sm")
+        cls.owned_behaviors.append(machine)
+        region = machine.main_region()
+        initial = region.add_initial()
+        alive = region.add_state("Alive")
+        region.add_state("Limbo")
+        region.add_transition(initial, alive)
+        model = Model("urn:dead")
+        model.add_root(factory.model)
+        path = tmp_path / "dead.xmi"
+        path.write_text(write_xml(model))
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "SM001" in out and "Limbo" in out
+
+    def test_disable_turns_finding_off(self, factory, tmp_path):
+        from repro.uml import StateMachine
+        cls = factory.clazz("C")
+        machine = StateMachine(name="sm")
+        cls.owned_behaviors.append(machine)
+        region = machine.main_region()
+        initial = region.add_initial()
+        alive = region.add_state("Alive")
+        region.add_state("Limbo")
+        region.add_transition(initial, alive)
+        model = Model("urn:dead")
+        model.add_root(factory.model)
+        path = tmp_path / "dead.xmi"
+        path.write_text(write_xml(model))
+        assert main(["lint", str(path), "--disable", "SM001"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("SM001", "ACT001", "TR001", "OCL101", "UML100"):
+            assert code in out
+
+    def test_missing_file(self, capsys):
+        assert main(["lint", "/nonexistent.xmi"]) == 2
+
+    def test_no_model_argument(self, capsys):
+        assert main(["lint"]) == 2
+
+    def test_exit_codes_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["lint", "--help"])
+        out = capsys.readouterr().out
+        assert "exit codes" in out and "usage/load error" in out
+
+
 class TestMetrics:
     def test_summary(self, model_file, capsys):
         assert main(["metrics", model_file]) == 0

@@ -1,0 +1,189 @@
+"""Static OCL type checking: inference and rejection of ill-typed
+expressions the evaluator would only catch at run time."""
+
+from __future__ import annotations
+
+import pytest
+
+from kernel_fixture import TBook, TChapter, TLibrary, TEST_PKG
+from repro.ocl import typecheck
+from repro.ocl.typecheck import (
+    ANY,
+    BOOLEAN,
+    INTEGER,
+    REAL,
+    STRING,
+    CollectionType,
+    ObjectType,
+    TypeEnv,
+    conforms,
+    env_for_metamodel,
+)
+
+
+def infer(expression, context=TBook, **kwargs):
+    result = typecheck(expression, context=context, **kwargs)
+    assert result.ok, [str(i) for i in result.issues]
+    return result.type
+
+
+def codes_of(expression, context=TBook, **kwargs):
+    return [issue.code
+            for issue in typecheck(expression, context=context,
+                                   **kwargs).issues]
+
+
+# ---------------------------------------------------------------------------
+# Inference over well-typed expressions
+# ---------------------------------------------------------------------------
+
+
+class TestInference:
+    def test_arithmetic_stays_integer(self):
+        assert infer("pages + 1") == INTEGER
+
+    def test_division_promotes_to_real(self):
+        assert infer("pages / 2") == REAL
+
+    def test_attribute_navigation(self):
+        assert infer("name") == STRING
+
+    def test_reference_navigation_yields_object_type(self):
+        result = infer("library")
+        assert isinstance(result, ObjectType)
+        assert result.name == "TLibrary"
+
+    def test_many_reference_yields_collection(self):
+        result = infer("chapters")
+        assert isinstance(result, CollectionType)
+        assert result.element.name == "TChapter"
+
+    def test_chained_navigation_through_collection(self):
+        result = infer("chapters->collect(c | c.book)")
+        assert isinstance(result, CollectionType)
+        assert result.element.name == "TBook"
+
+    def test_string_operation_chain(self):
+        assert infer("name.size() > 0", expect_boolean=True) == BOOLEAN
+
+    def test_select_preserves_collection(self):
+        result = infer("books->select(b | b.pages > 10)",
+                       context=TLibrary)
+        assert isinstance(result, CollectionType)
+        assert result.element.name == "TBook"
+
+    def test_select_then_size(self):
+        assert infer("books->select(b | b.pages > 10)->size()",
+                     context=TLibrary) == INTEGER
+
+    def test_forall_is_boolean(self):
+        assert infer("chapters->forAll(c | c.name <> '')") == BOOLEAN
+
+    def test_let_binds_declared_type(self):
+        assert infer("let n : Integer = pages in n * 2") == INTEGER
+
+    def test_if_joins_branches(self):
+        assert infer(
+            "if pages > 10 then 'long' else 'short' endif") == STRING
+
+    def test_if_with_numeric_branches_promotes(self):
+        assert infer("if true then 1 else 2.5 endif") == REAL
+
+    def test_ocl_is_kind_of_is_boolean(self):
+        assert infer("self.oclIsKindOf(TNamed)") == BOOLEAN
+
+    def test_ocl_as_type_downcasts(self):
+        assert infer("self.oclAsType(TBook).pages") == INTEGER
+
+    def test_collection_literal_range(self):
+        assert infer("Sequence{1..5}->sum()") == INTEGER
+
+    def test_all_instances_is_set(self):
+        result = infer("TBook.allInstances()")
+        assert isinstance(result, CollectionType)
+        assert result.kind == "Set"
+        assert result.element.name == "TBook"
+
+    def test_sorted_by_yields_sequence(self):
+        result = infer("chapters->sortedBy(c | c.name)")
+        assert result.kind == "Sequence"
+
+    def test_unknowns_stay_gradual(self):
+        # guards over simulator-created variables must not false-positive
+        env = TypeEnv()
+        env.define("gear", ANY)
+        result = typecheck("gear > 3", context=TBook, env=env,
+                           expect_boolean=True)
+        assert result.ok
+
+
+# ---------------------------------------------------------------------------
+# Rejection: statically ill-typed expressions (each would only surface
+# at evaluation time otherwise)
+# ---------------------------------------------------------------------------
+
+REJECTED = [
+    ("pagez + 1", "OCL001"),                       # unknown property
+    ("chapters->forAll(c | c.pages)", "OCL001"),   # unknown in body
+    ("pages.size()", "OCL002"),                    # Integer has no size()
+    ("chapters->shuffle()", "OCL004"),             # unknown collection op
+    ("name.substring(1)", "OCL005"),               # wrong arity
+    ("pages + name", "OCL006"),                    # Integer + String
+    ("not pages", "OCL006"),                       # not over Integer
+    ("true and 1", "OCL006"),                      # and over Integer
+    ("pages > 'abc'", "OCL006"),                   # cross-family compare
+    ("chapters->at('x')", "OCL006"),               # at() wants Integer
+    ("chapters->union(pages)", "OCL006"),          # union wants collection
+    ("chapters->sum()", "OCL006"),                 # sum over objects
+    ("self.oclIsKindOf(Missing)", "OCL007"),       # unknown type name
+    ("chapters->select(c | c.name", "OCL008"),     # syntax error
+    ("pages.foo", "OCL009"),                       # nav on primitive
+    ("chapters->forAll(c | c.book)", "OCL010"),    # non-Boolean body
+    ("chapters->sortedBy(c | c.book)", "OCL010"),  # incomparable body
+]
+
+
+class TestRejection:
+    @pytest.mark.parametrize("expression,code", REJECTED,
+                             ids=[c + ":" + e[:24] for e, c in REJECTED])
+    def test_rejected_with_code(self, expression, code):
+        assert code in codes_of(expression)
+
+    def test_at_least_ten_distinct_ill_typed_expressions(self):
+        flagged = [e for e, _ in REJECTED if codes_of(e)]
+        assert len(set(flagged)) >= 10
+
+    def test_expect_boolean_flags_non_boolean_root(self):
+        assert "OCL003" in codes_of("pages", expect_boolean=True)
+
+    def test_unknown_identifier_gets_suggestion(self):
+        issues = typecheck("pagez + 1", context=TBook).issues
+        assert any("pages" in issue.hint for issue in issues)
+
+    def test_unknown_collection_op_gets_suggestion(self):
+        issues = typecheck("chapters->sizee()", context=TBook).issues
+        assert any("size" in issue.hint for issue in issues)
+
+
+# ---------------------------------------------------------------------------
+# Environment plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestEnvironment:
+    def test_env_for_metamodel_registers_type_names(self):
+        env = env_for_metamodel(TEST_PKG)
+        assert env.lookup_type("TBook") is not None
+        assert env.lookup_type("testmm::TBook") is not None
+
+    def test_conformance_is_gradual(self):
+        assert conforms(ANY, INTEGER)
+        assert conforms(INTEGER, ANY)
+        assert conforms(INTEGER, REAL)
+        assert not conforms(REAL, INTEGER)
+        assert not conforms(STRING, INTEGER)
+
+    def test_result_renders_issues(self):
+        result = typecheck("pagez", context=TBook)
+        assert not result.ok
+        assert "pagez" in str(result.issues[0])
