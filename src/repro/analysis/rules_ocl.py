@@ -95,7 +95,8 @@ class ClassifierView(ObjectTypeView):
     def feature_names(self) -> List[str]:
         if not isinstance(self.classifier, StructuredClassifier):
             return []
-        return sorted(p.name for p in self.classifier.all_attributes())
+        return sorted(p.name for p in self.classifier.all_attributes()
+                      if p.name)
 
     def operation_signature(self, name: str):
         if not isinstance(self.classifier, StructuredClassifier):

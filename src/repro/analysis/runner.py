@@ -90,6 +90,24 @@ class ModelLinter:
         yield root
         yield from root.all_contents()
 
+    # -- incremental lint --------------------------------------------------
+
+    def watch(self, *roots: Element):
+        """An incrementally maintained lint session over *roots*.
+
+        Returns a primed :class:`repro.incremental.IncrementalEngine`
+        restricted to this linter's registry and config; after each edit,
+        ``engine.revalidate()`` re-runs only the (rule, target) pairs
+        whose read set the edit touched.
+        """
+        from ..incremental import IncrementalEngine
+        engine = IncrementalEngine(
+            roots[0] if len(roots) == 1 else roots,
+            structural=False, invariants=False, wellformed=False,
+            lint=True, registry=self.registry, config=self.config)
+        engine.revalidate()
+        return engine
+
     # -- transformation lint ----------------------------------------------
 
     def lint_transformation(self, transformation: Any) -> LintReport:

@@ -35,6 +35,7 @@ from .errors import (
     UnknownFeatureError,
 )
 from .kernel import (
+    CONTAINER_KEY,
     Attribute,
     DynamicElement,
     Element,
@@ -44,6 +45,7 @@ from .kernel import (
     MetaEnum,
     MetaPackage,
     Reference,
+    set_read_hook,
 )
 from .notify import ChangeKind, ChangeRecorder, Notification
 from .query import (
@@ -83,7 +85,8 @@ from .validate import (
 )
 
 __all__ = [
-    "Attribute", "DiffKind", "DiffResult", "Difference", "compare", "ChangeKind", "ChangeRecorder", "ClassBuilder",
+    "Attribute", "CONTAINER_KEY", "set_read_hook",
+    "DiffKind", "DiffResult", "Difference", "compare", "ChangeKind", "ChangeRecorder", "ClassBuilder",
     "CompositionError", "Diagnostic", "DynamicElement", "Element",
     "Feature", "FeatureList", "FrozenElementError", "M_01", "M_0N",
     "M_11", "M_1N", "MBoolean", "MInteger", "MReal", "MString",

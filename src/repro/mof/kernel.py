@@ -55,6 +55,37 @@ _id_counter = itertools.count(1)
 
 
 # ---------------------------------------------------------------------------
+# Read instrumentation
+# ---------------------------------------------------------------------------
+
+CONTAINER_KEY = "@container"
+"""Pseudo-feature name under which container reads are reported to the
+read hook.  ``element.container`` / ``element.root()`` walks are not
+feature reads, but checkers depend on them all the same — an incremental
+engine must re-run a check when an element it walked through is
+reparented."""
+
+_READ_HOOK = None
+
+
+def set_read_hook(hook):
+    """Install *hook* as the kernel-wide read observer; return the old one.
+
+    When a hook is installed, every feature read — descriptor access,
+    ``eget``, dynamic attribute lookup, ``contents()`` — calls
+    ``hook(element, feature_name)`` before returning the value.  Container
+    walks report the pseudo-feature :data:`CONTAINER_KEY`.  This is the tap
+    the incremental revalidation engine uses to learn what a check actually
+    read; with no hook installed (``None``) reads pay a single global load
+    and a falsy test.
+    """
+    global _READ_HOOK
+    previous = _READ_HOOK
+    _READ_HOOK = hook
+    return previous
+
+
+# ---------------------------------------------------------------------------
 # Packages and enumerations
 # ---------------------------------------------------------------------------
 
@@ -558,9 +589,11 @@ class FeatureList:
             _unlink(self._owner, self._feature, value)
         else:
             _check_mutable(self._owner)
-            self._items.remove(value)
+            index = self._items.index(value)
+            self._items.pop(index)
             self._owner._notify(Notification(
-                self._owner, self._feature, ChangeKind.REMOVE, old=value))
+                self._owner, self._feature, ChangeKind.REMOVE, old=value,
+                position=index))
 
     def discard(self, value: Any) -> None:
         if value in self:
@@ -579,6 +612,8 @@ class FeatureList:
         """Reposition *value* within an ordered feature."""
         _check_mutable(self._owner)
         old_index = self._items.index(value)
+        if old_index == new_index:
+            return
         self._items.pop(old_index)
         self._items.insert(new_index, value)
         self._owner._notify(Notification(
@@ -661,11 +696,28 @@ def _ancestors(obj: "Element") -> Iterator["Element"]:
         current = current._container
 
 
+def _index_of(obj: "Element", feature: Reference,
+              value: "Element") -> Optional[int]:
+    slot = obj._slots.get(feature.name)
+    if isinstance(slot, FeatureList):
+        for i, item in enumerate(slot._items):
+            if item is value:
+                return i
+    return None
+
+
 def _unlink(source: "Element", feature: Reference, target: "Element",
             *, notify: bool = True) -> None:
     """Break the ``source --feature--> target`` link and its inverse."""
     _check_mutable(source)
     opposite = feature.opposite
+    if opposite is not None:
+        # the inverse slot mutates too; a frozen target must veto the whole
+        # operation before either side changes
+        _check_mutable(target)
+    position = _index_of(source, feature, target) if feature.many else None
+    opp_position = (_index_of(target, opposite, source)
+                    if opposite is not None and opposite.many else None)
     _raw_remove(source, feature, target)
     if opposite is not None:
         _raw_remove(target, opposite, source)
@@ -678,10 +730,12 @@ def _unlink(source: "Element", feature: Reference, target: "Element",
         source._containing_feature = None
     if notify:
         kind = ChangeKind.REMOVE if feature.many else ChangeKind.UNSET
-        source._notify(Notification(source, feature, kind, old=target))
+        source._notify(Notification(source, feature, kind, old=target,
+                                    position=position))
         if opposite is not None:
             okind = ChangeKind.REMOVE if opposite.many else ChangeKind.UNSET
-            target._notify(Notification(target, opposite, okind, old=source))
+            target._notify(Notification(target, opposite, okind, old=source,
+                                        position=opp_position))
 
 
 def _link(source: "Element", feature: Reference, target: "Element",
@@ -690,6 +744,9 @@ def _link(source: "Element", feature: Reference, target: "Element",
     _check_mutable(source)
     feature.check_type(target)
     opposite = feature.opposite
+    if opposite is not None:
+        # linking writes the target's inverse slot as well
+        _check_mutable(target)
 
     # Containment cycle guard: target may not be an ancestor of source.
     if feature.containment:
@@ -744,6 +801,8 @@ def _link(source: "Element", feature: Reference, target: "Element",
 
 
 def _get_value(obj: "Element", feature: Feature) -> Any:
+    if _READ_HOOK is not None:
+        _READ_HOOK(obj, feature.name)
     if feature.many:
         return _slot_list(obj, feature)
     if feature.name in obj._slots:
@@ -772,11 +831,20 @@ def _set_value(obj: "Element", feature: Feature, value: Any) -> None:
     # single-valued attribute
     _check_mutable(obj)
     feature.check_type(value)
-    old = obj._slots.get(feature.name)
+    # The *effective* old value is what a reader would have seen, which is
+    # the default when the slot was never written — comparing against the
+    # raw slot would report ``old=None`` on a first set and emit a spurious
+    # notification when assigning a value equal to the default.
+    if feature.name in obj._slots:
+        old = obj._slots[feature.name]
+    else:
+        old = feature.default_value()
+    if old is value or old == value:
+        obj._slots[feature.name] = value
+        return
     obj._slots[feature.name] = value
-    if old is not value and old != value:
-        kind = ChangeKind.SET if value is not None else ChangeKind.UNSET
-        obj._notify(Notification(obj, feature, kind, old=old, new=value))
+    kind = ChangeKind.SET if value is not None else ChangeKind.UNSET
+    obj._notify(Notification(obj, feature, kind, old=old, new=value))
 
 
 # ---------------------------------------------------------------------------
@@ -883,6 +951,8 @@ class Element(ObserverMixin, metaclass=MofMeta):
 
     def eis_set(self, name: str) -> bool:
         feature = self.meta.feature(name)
+        if _READ_HOOK is not None:
+            _READ_HOOK(self, feature.name)
         slot = self._slots.get(feature.name)
         if feature.many:
             return bool(slot is not None and len(slot) > 0)
@@ -895,16 +965,24 @@ class Element(ObserverMixin, metaclass=MofMeta):
 
     @property
     def container(self) -> Optional["Element"]:
+        if _READ_HOOK is not None:
+            _READ_HOOK(self, CONTAINER_KEY)
         return self._container
 
     @property
     def containing_feature(self) -> Optional[Reference]:
+        if _READ_HOOK is not None:
+            _READ_HOOK(self, CONTAINER_KEY)
         return self._containing_feature
 
     def root(self) -> "Element":
         current = self
+        if _READ_HOOK is not None:
+            _READ_HOOK(current, CONTAINER_KEY)
         while current._container is not None:
             current = current._container
+            if _READ_HOOK is not None:
+                _READ_HOOK(current, CONTAINER_KEY)
         return current
 
     def contents(self) -> List["Element"]:
@@ -975,6 +1053,9 @@ class Element(ObserverMixin, metaclass=MofMeta):
         label = ""
         name_feature = self.meta.find_feature("name") if self.meta else None
         if name_feature is not None and not name_feature.many:
+            if _READ_HOOK is not None:
+                # diagnostics embed reprs; a rename must invalidate them
+                _READ_HOOK(self, "name")
             value = self._slots.get("name")
             if isinstance(value, str) and value:
                 label = f" '{value}'"
@@ -1022,6 +1103,8 @@ class DynamicElement(Element):
     def __repr__(self) -> str:
         label = ""
         if self.meta.find_feature("name") is not None:
+            if _READ_HOOK is not None:
+                _READ_HOOK(self, "name")
             value = self._slots.get("name")
             if isinstance(value, str) and value:
                 label = f" '{value}'"

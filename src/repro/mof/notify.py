@@ -71,8 +71,13 @@ class ObserverMixin:
     def _notify(self, notification: Notification) -> None:
         observers = getattr(self, "_observers", None)
         if observers:
-            for observer in list(observers):
-                observer(notification)
+            # Iterate over a snapshot (observers may register/unregister
+            # while we dispatch) but re-check live membership before each
+            # call: an observer detached by an earlier observer must not
+            # receive the notification it asked to stop seeing.
+            for observer in tuple(observers):
+                if observer in observers:
+                    observer(notification)
         forward = getattr(self, "_notification_sink", None)
         if forward is not None:
             forward(notification)
@@ -88,7 +93,10 @@ class ChangeRecorder:
         self.notifications.append(notification)
 
     def clear(self) -> None:
-        self.notifications.clear()
+        # Rebind rather than clear in place: callers iterating an earlier
+        # snapshot of ``self.notifications`` (e.g. replaying a change log
+        # while new changes arrive) keep a consistent list.
+        self.notifications = []
 
     def __len__(self) -> int:
         return len(self.notifications)

@@ -67,8 +67,12 @@ class Model:
             self._observers.remove(observer)
 
     def _element_changed(self, notification: Notification) -> None:
-        for observer in list(self._observers):
-            observer(notification)
+        # snapshot + live-membership check: observers detached while the
+        # dispatch is in flight must not be called (see ObserverMixin._notify)
+        observers = self._observers
+        for observer in tuple(observers):
+            if observer in observers:
+                observer(notification)
 
     def __repr__(self) -> str:
         return f"<Model {self.uri} roots={len(self.roots)}>"

@@ -125,6 +125,21 @@ class ConstraintSet:
                                code="invariant")
         return report
 
+    def watch(self, scope: Union[Model, Element]) -> Any:
+        """An incrementally maintained :meth:`check` over *scope*.
+
+        Returns a primed :class:`repro.incremental.IncrementalEngine`
+        restricted to this constraint set: after each model edit,
+        ``engine.revalidate()`` re-evaluates only the invariants whose
+        read set the edit touched.
+        """
+        from ..incremental import IncrementalEngine
+        engine = IncrementalEngine(scope, structural=False,
+                                   invariants=False, wellformed=False,
+                                   lint=False, constraint_sets=[self])
+        engine.revalidate()
+        return engine
+
     def register_all(self) -> None:
         for inv in self.invariants:
             inv.register()

@@ -286,3 +286,19 @@ def check_model(root: Package,
     for rule in (rules if rules is not None else ALL_RULES):
         rule(root, report)
     return report
+
+
+def watch_model(root: Package, rules: List[Rule] = None):
+    """An incrementally maintained :func:`check_model` over *root*.
+
+    Returns a primed :class:`repro.incremental.IncrementalEngine`
+    restricted to the well-formedness rules; after each edit,
+    ``engine.revalidate()`` re-runs only the rules whose read set the
+    edit touched and serves the rest from cache.
+    """
+    from ..incremental import IncrementalEngine
+    engine = IncrementalEngine(root, structural=False, invariants=False,
+                               lint=False, wellformed=True,
+                               wellformed_rules=rules)
+    engine.revalidate()
+    return engine

@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 
 from ..analysis import LintConfig, ModelLinter
 from ..method.concerns import check_domain_purity
-from ..mof.validate import validate_tree
+from ..mof.validate import ValidationReport, validate_tree
 from ..platforms.base import PlatformModel
 from ..profiles.sysml import traceability_matrix
 from ..uml import Package
@@ -60,17 +60,35 @@ def quality_report(root: Package, *,
                    platforms: Sequence[PlatformModel] = (),
                    include_traceability: bool = False,
                    max_coupling_density: float = 0.75,
-                   max_single_operation_ratio: float = 0.5
-                   ) -> QualityReport:
-    """Run every applicable model test over *root* and fold the results."""
+                   max_single_operation_ratio: float = 0.5,
+                   incremental=None) -> QualityReport:
+    """Run every applicable model test over *root* and fold the results.
+
+    When *incremental* is a primed
+    :class:`repro.incremental.IncrementalEngine` over *root*, the
+    structural, well-formedness and lint sections are served from its
+    (freshly revalidated) caches instead of full re-walks — the metrics,
+    purity and traceability sections are cheap and always recomputed.
+    """
     report = QualityReport(root.name or "(unnamed)")
 
-    structural = validate_tree(root)
+    if incremental is not None:
+        incremental.revalidate()
+        kinds = incremental.report_by_kind()
+        structural = kinds.get("structural", ValidationReport())
+        structural.extend(kinds.get("invariant", ValidationReport()))
+        wellformed = kinds.get("wellformed", ValidationReport())
+        lint = kinds.get("lint", ValidationReport())
+    else:
+        structural = validate_tree(root)
+        wellformed = check_model(root)
+        lint = ModelLinter(config=LintConfig(
+            disabled={"uml-wellformed"})).lint(root)
+
     report.sections.append(SectionResult(
         "structural validity", structural.ok,
         [str(d) for d in structural.errors] or ["no errors"]))
 
-    wellformed = check_model(root)
     lines = [str(d) for d in wellformed.errors]
     lines += [str(d) for d in wellformed.warnings]
     report.sections.append(SectionResult(
@@ -78,12 +96,12 @@ def quality_report(root: Package, *,
 
     # the well-formedness section above already reports the uml-* rules;
     # the lint section covers the behavioural/OCL analyses on top
-    lint = ModelLinter(config=LintConfig(
-        disabled={"uml-wellformed"})).lint(root)
     lines = [d.render() for d in lint.errors]
     lines += [d.render() for d in lint.warnings]
     report.sections.append(SectionResult(
-        "static analysis (lint)", lint.ok, lines or [lint.summary()]))
+        "static analysis (lint)", lint.ok,
+        lines or [lint.summary() if hasattr(lint, "summary")
+                  else "no findings"]))
 
     metrics = compute_model_metrics(root)
     metric_ok = (metrics.coupling_density <= max_coupling_density
