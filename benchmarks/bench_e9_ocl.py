@@ -39,7 +39,7 @@ def test_e9_report_and_shape():
         model = make_sized_pim(size).model
         elements = 1 + sum(1 for _ in model.all_contents())
         started = time.perf_counter()
-        report = constraints.check(model)
+        report = constraints.evaluate(model)
         elapsed = time.perf_counter() - started
         assert report.ok
         micros = elapsed * 1e6 / elements
@@ -54,7 +54,7 @@ def test_e9_violations_still_found_at_scale():
     constraints = make_constraints()
     factory = make_sized_pim(100)
     factory.clazz("")      # seed one violation
-    report = constraints.check(factory.model)
+    report = constraints.evaluate(factory.model)
     assert len(report.errors) == 1
 
 

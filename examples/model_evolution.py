@@ -23,7 +23,7 @@ import tempfile
 from repro.mof import Model, compare
 from repro.profiles import SA_SCHEDULABLE, SPT
 from repro.uml import ModelFactory, StateMachine, UML
-from repro.validation import quality_report
+from repro.session import Session
 from repro.platforms import posix_platform
 from repro.xmi import read_xml, write_xml
 
@@ -59,7 +59,7 @@ def main() -> None:
 
     print("== revision 1: build, report, persist ==")
     revision_1 = build_revision_1()
-    report_1 = quality_report(revision_1.model, platforms=[platform])
+    report_1 = Session(revision_1.model).quality_report(platforms=[platform])
     print("\n".join("  " + line
                     for line in report_1.render().splitlines()))
 
@@ -96,7 +96,7 @@ def main() -> None:
     for difference in diff.differences:
         print(f"    {difference}")
 
-    report_2 = quality_report(root, platforms=[platform])
+    report_2 = Session(root).quality_report(platforms=[platform])
     print("\n  revision-2 quality: "
           + ("PASS" if report_2.passed else "FAIL"))
     warnings = report_2.section("uml well-formedness")

@@ -13,9 +13,9 @@ Run:  python examples/quickstart.py
 """
 
 from repro.codegen import generate_c, lower_model
-from repro.mof import validate_tree
 from repro.platforms import posix_platform, make_pim_to_psm
-from repro.uml import ModelFactory, StateMachine, check_model
+from repro.session import Session
+from repro.uml import ModelFactory, StateMachine
 
 
 def build_pim() -> ModelFactory:
@@ -54,10 +54,9 @@ def main() -> None:
         print(f"  {element.meta.name}: {element.name}")
 
     print("\n== 2. validation ==")
-    structural = validate_tree(model)
-    wellformed = check_model(model)
-    print(f"  structural: {'ok' if structural.ok else structural}")
-    print(f"  well-formedness: {'ok' if wellformed.ok else wellformed}")
+    checked = Session(model).check()
+    print(f"  families: {', '.join(checked.families)}")
+    print(f"  verdict: {'ok' if checked.ok else checked.render()}")
 
     print("\n== 3. PIM -> PSM (platform: POSIX RTOS) ==")
     platform = posix_platform()

@@ -16,13 +16,13 @@ Reproduces the paper's §1 argument in executable form:
 Run:  python examples/usecases_as_tests.py
 """
 
+from repro.session import Session
 from repro.uml import (
     Actor,
     Interaction,
     ModelFactory,
     StateMachine,
     UseCase,
-    check_model,
 )
 from repro.validation import (
     Collaboration,
@@ -136,8 +136,8 @@ def main() -> None:
     print(f"  use case '{withdraw.name}' testable: "
           f"{withdraw.is_testable()}")
 
-    wf = check_model(model)
-    print(f"  well-formedness: {'ok' if wf.ok else wf}")
+    wf = Session(model).check(families=("wellformed",))
+    print(f"  well-formedness: {'ok' if wf.ok else wf.render()}")
 
     print("\n== replaying the scenario against the collaboration ==")
 

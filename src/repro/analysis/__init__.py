@@ -19,10 +19,12 @@ provides it:
 
 Typical use::
 
-    from repro.analysis import lint_model
-    report = lint_model(model_root)
+    from repro.analysis import ModelLinter
+    report = ModelLinter().lint(model_root)
     if not report.ok:
         print(report.render())
+
+(or, for the unified multi-checker API, ``repro.session.Session``).
 """
 
 from .diagnostics import (

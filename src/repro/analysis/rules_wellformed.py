@@ -1,7 +1,7 @@
 """Bridge the UML well-formedness rules into the lint registry.
 
 :mod:`repro.uml.wellformed` predates the lint engine and keeps its
-``check_model`` entry point; since both sides speak the shared
+``run_wellformed_rules`` entry point; since both sides speak the shared
 :class:`~repro.mof.validate.Diagnostic`, the bridge is a pass-through —
 ``python -m repro lint`` thereby covers well-formedness too, with the
 ``uml-*`` codes individually disablable through
@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..uml.package import Package
-from ..uml.wellformed import check_model
+from ..uml.wellformed import run_wellformed_rules
 from .diagnostics import Diagnostic
 from .registry import lint_rule
 from .runner import LintContext
@@ -25,4 +25,4 @@ from .runner import LintContext
 def check_wellformedness(root, ctx: LintContext) -> Iterable[Diagnostic]:
     if not isinstance(root, Package):
         return
-    yield from check_model(root).diagnostics
+    yield from run_wellformed_rules(root).diagnostics

@@ -10,10 +10,13 @@ diagnostics before they reach the report.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 from typing import Any, Dict, Iterable, List, Optional
 
 from ..mof.kernel import Element, MetaClass
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..uml.activities import Activity
 from ..uml.statemachines import StateMachine
 from .diagnostics import Diagnostic, LintReport, Severity, model_path
@@ -55,9 +58,25 @@ class ModelLinter:
     # -- model lint --------------------------------------------------------
 
     def lint(self, *roots: Element) -> LintReport:
-        report = LintReport()
-        for root in roots:
-            self._lint_root(root, report)
+        if not _trace.ON:
+            report = LintReport()
+            for root in roots:
+                self._lint_root(root, report)
+            return report
+        with _trace.span("analysis.lint", roots=len(roots)) as sp:
+            report = LintReport()
+            for root in roots:
+                self._lint_root(root, report)
+        sp.tag(elements=report.elements_scanned,
+               findings=len(report.diagnostics))
+        _metrics.REGISTRY.counter(
+            "analysis.lint.elements",
+            help="elements scanned by the linter").inc(
+                report.elements_scanned)
+        for diagnostic in report.diagnostics:
+            _metrics.REGISTRY.counter(
+                "analysis.lint.findings", help="lint findings by severity",
+                severity=diagnostic.severity.value).inc()
         return report
 
     def _lint_root(self, root: Element, report: LintReport) -> None:
@@ -95,18 +114,19 @@ class ModelLinter:
     def watch(self, *roots: Element):
         """An incrementally maintained lint session over *roots*.
 
-        Returns a primed :class:`repro.incremental.IncrementalEngine`
-        restricted to this linter's registry and config; after each edit,
-        ``engine.revalidate()`` re-runs only the (rule, target) pairs
-        whose read set the edit touched.
+        .. deprecated::
+            Use :meth:`repro.session.Session.watch` with the ``"lint"``
+            family; this shim delegates to it.
         """
-        from ..incremental import IncrementalEngine
-        engine = IncrementalEngine(
-            roots[0] if len(roots) == 1 else roots,
-            structural=False, invariants=False, wellformed=False,
-            lint=True, registry=self.registry, config=self.config)
-        engine.revalidate()
-        return engine
+        warnings.warn(
+            "ModelLinter.watch() is deprecated; use repro.session."
+            "Session(roots, registry=..., lint_config=...).watch("
+            "families=('lint',))",
+            DeprecationWarning, stacklevel=2)
+        from ..session import Session
+        return Session(roots[0] if len(roots) == 1 else roots,
+                       registry=self.registry,
+                       lint_config=self.config).watch(families=("lint",))
 
     # -- transformation lint ----------------------------------------------
 
@@ -147,7 +167,16 @@ class ModelLinter:
 def lint_model(*roots: Element,
                registry: Optional[RuleRegistry] = None,
                config: Optional[LintConfig] = None) -> LintReport:
-    """Lint one or more model roots with the default registry."""
+    """Lint one or more model roots with the default registry.
+
+    .. deprecated::
+        Use :meth:`repro.session.Session.check` with the ``"lint"``
+        family (or :meth:`ModelLinter.lint` directly).
+    """
+    warnings.warn(
+        "lint_model() is deprecated; use repro.session.Session(roots)."
+        "check(families=('lint',)) or ModelLinter(...).lint(*roots)",
+        DeprecationWarning, stacklevel=2)
     return ModelLinter(registry, config).lint(*roots)
 
 

@@ -12,10 +12,17 @@
     python -m repro schedule  model.xmi
     python -m repro diff      a.xmi b.xmi
     python -m repro convert   model.xmi -o model.json
+    python -m repro profile   model.xmi --pipeline validate,transform,generate
+    python -m repro stats     model.xmi --format prom
 
 Model files are the XMI-style XML (``.xmi``/``.xml``) or JSON (``.json``)
 dialects of :mod:`repro.xmi`; all bundled profiles are available for
 stereotype resolution.
+
+Contracts shared by every verb: exit code 0 means clean, 1 means
+findings were reported, 2 means usage or model-load error; ``--trace
+FILE`` appends the verb's span tree as JSONL; the checking verbs accept
+``--format text|json`` and a ``--severity`` floor.
 """
 
 from __future__ import annotations
@@ -25,12 +32,12 @@ import os
 import sys
 from typing import List, Optional
 
-from .analysis import DEFAULT_REGISTRY, LintConfig, ModelLinter
+from .analysis import DEFAULT_REGISTRY, LintConfig
 from .codegen import generate_c, generate_java, generate_systemc, \
     lower_model
 from .method import check_domain_purity
 from .platforms.footprint import estimate_footprint
-from .mof import Model, compare, validate_tree
+from .mof import compare
 from .mof.repository import Model as MofModel
 from .platforms import (
     baremetal_platform,
@@ -39,12 +46,12 @@ from .platforms import (
     posix_platform,
 )
 from .profiles import ETSI_CS, QOS_FT, SPT, SYSML, TESTING, analyze_model
-from .uml import UML, StateMachine, check_model, class_diagram, \
-    statemachine_diagram
+from .session import CheckResult, Session
+from .uml import UML, StateMachine, class_diagram, statemachine_diagram
 from .validation import (
+    build_quality_report,
     compute_model_metrics,
     generate_transition_tests,
-    quality_report,
 )
 from .xmi import read_json, read_xml, write_json, write_xml
 
@@ -78,32 +85,43 @@ def save_model(model: MofModel, path: str) -> None:
         handle.write(text)
 
 
-# -- subcommands -------------------------------------------------------------
+# -- the shared diagnostic emitter -------------------------------------------
+
+def emit_check_result(result: CheckResult,
+                      args: argparse.Namespace) -> None:
+    """Print a :class:`~repro.session.CheckResult` per the shared CLI
+    contract: ``--format text`` renders lint-style one-liners plus a
+    summary; ``--format json`` renders the structured document."""
+    print(result.render(getattr(args, "format", "text")))
+
 
 def cmd_validate(args: argparse.Namespace) -> int:
-    model = load_model(args.model)
-    failures = 0
-    for root in model.roots:
-        structural = validate_tree(root)
-        wellformed = check_model(root) if hasattr(root, "packaged_elements") \
-            else None
-        for report, label in ((structural, "structural"),
-                              (wellformed, "well-formedness")):
-            if report is None:
-                continue
-            if report.ok:
-                print(f"{label}: ok"
-                      + (f" ({len(report.warnings)} warning(s))"
-                         if report.warnings else ""))
-                if args.verbose:
-                    for diagnostic in report.warnings:
-                        print(f"  warning: {diagnostic}")
-            else:
-                failures += len(report.errors)
-                print(f"{label}: {len(report.errors)} error(s)")
-                for diagnostic in report.errors:
-                    print(f"  {diagnostic}")
-    return 1 if failures else 0
+    session = Session(load_model(args.model))
+    result = session.check(
+        families=("structural", "invariant", "wellformed"),
+        severity=args.severity)
+    if args.format == "json":
+        emit_check_result(result, args)
+        return 0 if result.ok else 1
+    groups = (
+        ("structural", (result.by_family.get("structural", [])
+                        + result.by_family.get("invariant", []))),
+        ("well-formedness", result.by_family.get("wellformed", [])),
+    )
+    for label, diagnostics in groups:
+        errors = [d for d in diagnostics if d.severity.value == "error"]
+        warnings_ = [d for d in diagnostics if d.severity.value == "warning"]
+        if not errors:
+            print(f"{label}: ok"
+                  + (f" ({len(warnings_)} warning(s))" if warnings_ else ""))
+            if args.verbose:
+                for diagnostic in warnings_:
+                    print(f"  warning: {diagnostic}")
+        else:
+            print(f"{label}: {len(errors)} error(s)")
+            for diagnostic in errors:
+                print(f"  {diagnostic}")
+    return 0 if result.ok else 1
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -117,12 +135,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print("error: a model file is required (or --list-rules)",
               file=sys.stderr)
         return 2
-    model = load_model(args.model)
     config = LintConfig(disabled=set(args.disable or []),
                         enabled=set(args.enable or []))
-    report = ModelLinter(config=config).lint(*model.roots)
-    print(report.render())
-    clean = report.ok and not (args.strict and report.warnings)
+    session = Session(load_model(args.model), lint_config=config)
+    result = session.check(families=("lint",), severity=args.severity)
+    emit_check_result(result, args)
+    clean = result.ok and not (args.strict and result.warnings)
     return 0 if clean else 1
 
 
@@ -311,7 +329,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     platforms = [PLATFORMS[name]() for name in (args.platform or [])]
     all_passed = True
     for root in model.roots:
-        report = quality_report(
+        report = build_quality_report(
             root, platforms=platforms,
             include_traceability=args.traceability)
         print(report.render())
@@ -402,6 +420,89 @@ def cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+PIPELINE_STAGES = ("validate", "lint", "transform", "generate")
+
+
+def _run_pipeline(args: argparse.Namespace, stages) -> None:
+    """Execute the requested toolchain stages over ``args.model`` with
+    the observability layer already enabled (the caller owns it)."""
+    from . import obs
+
+    with obs.span("cli.load", model=args.model):
+        model = load_model(args.model)
+    session = Session(model)
+    psm_model = None
+    for stage in stages:
+        if stage == "validate":
+            session.check(families=("structural", "invariant",
+                                    "wellformed"))
+        elif stage == "lint":
+            session.check(families=("lint",))
+        elif stage == "transform":
+            platform = PLATFORMS[args.platform]()
+            transformation = make_pim_to_psm(platform)
+            result = transformation.run(model.roots, platform=platform)
+            psm_model = result.target_model(uri=f"{model.uri}.psm")
+        elif stage == "generate":
+            source = psm_model if psm_model is not None else model
+            generator = GENERATORS[args.lang]
+            for root in source.roots:
+                generator(lower_model(root))
+
+
+def _parse_stages(pipeline: str):
+    stages = [s.strip() for s in pipeline.split(",") if s.strip()]
+    unknown = [s for s in stages if s not in PIPELINE_STAGES]
+    if unknown:
+        print(f"error: unknown pipeline stage(s) {unknown}; expected a "
+              f"subset of {','.join(PIPELINE_STAGES)}", file=sys.stderr)
+        return None
+    return stages
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from . import obs
+
+    stages = _parse_stages(args.pipeline)
+    if stages is None:
+        return 2
+    sink = obs.MemorySink()
+    obs.enable(sink)
+    try:
+        with obs.span("cli.profile", model=args.model,
+                      pipeline=args.pipeline):
+            _run_pipeline(args, stages)
+    finally:
+        obs.disable()
+        obs.remove_sink(sink)
+    print(obs.render_tree(sink.roots, min_fraction=args.min_fraction))
+    print()
+    print(obs.top_table(sink.roots, n=args.top))
+    print(f"\n{sink.span_count} span(s) recorded; "
+          f"run `python -m repro stats {args.model}` for the counters")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from . import obs
+
+    if args.model:
+        stages = _parse_stages(args.pipeline)
+        if stages is None:
+            return 2
+        obs.enable()
+        try:
+            with obs.span("cli.stats", model=args.model):
+                _run_pipeline(args, stages)
+        finally:
+            obs.disable()
+    if args.format == "prom":
+        print(obs.REGISTRY.render_prometheus())
+    else:
+        print(obs.REGISTRY.render_json())
+    return 0
+
+
 # -- parser ----------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -414,8 +515,22 @@ def build_parser() -> argparse.ArgumentParser:
                "load error")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    trace_parent = argparse.ArgumentParser(add_help=False)
+    trace_parent.add_argument(
+        "--trace", metavar="FILE",
+        help="append this invocation's span tree to FILE as JSONL")
+
+    diag_parent = argparse.ArgumentParser(add_help=False)
+    diag_parent.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="diagnostic output format (default text)")
+    diag_parent.add_argument(
+        "--severity", choices=["info", "warning", "error"], default=None,
+        help="only report diagnostics at or above this severity")
+
     p = sub.add_parser(
         "validate", help="structural + well-formedness checks",
+        parents=[trace_parent, diag_parent],
         description="Validate a model structurally and against the UML "
                     "well-formedness rules.",
         epilog="exit codes: 0 = clean, 1 = errors found, "
@@ -427,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "lint", help="static analysis: OCL type checking, dead code, "
                      "conflicts",
+        parents=[trace_parent, diag_parent],
         description="Run the model lint engine: static OCL type "
                     "checking of invariants and guards, dead-state and "
                     "dead-transition detection, nondeterministic "
@@ -447,6 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "watch", help="continuous incremental revalidation",
+        parents=[trace_parent],
         description="Validate a model through the incremental "
                     "revalidation engine (structure, invariants, UML "
                     "well-formedness, lint) and keep watching the file: "
@@ -466,13 +583,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "report incremental vs full revalidation timings")
     p.set_defaults(fn=cmd_watch)
 
-    p = sub.add_parser("metrics", help="design metrics")
+    p = sub.add_parser("metrics", help="design metrics",
+                       parents=[trace_parent])
     p.add_argument("model")
     p.add_argument("--per-class", action="store_true")
     p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser(
         "check", help="domain/platform pollution check",
+        parents=[trace_parent],
         epilog="exit codes: 0 = clean, 1 = pollution found, "
                "2 = usage/load error")
     p.add_argument("model")
@@ -480,24 +599,28 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=sorted(PLATFORMS))
     p.set_defaults(fn=cmd_check)
 
-    p = sub.add_parser("transform", help="PIM -> PSM for a platform")
+    p = sub.add_parser("transform", help="PIM -> PSM for a platform",
+                       parents=[trace_parent])
     p.add_argument("model")
     p.add_argument("--platform", required=True, choices=sorted(PLATFORMS))
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(fn=cmd_transform)
 
-    p = sub.add_parser("generate", help="PSM -> source code")
+    p = sub.add_parser("generate", help="PSM -> source code",
+                       parents=[trace_parent])
     p.add_argument("model")
     p.add_argument("--lang", required=True, choices=sorted(GENERATORS))
     p.add_argument("-o", "--output", required=True,
                    help="output directory")
     p.set_defaults(fn=cmd_generate)
 
-    p = sub.add_parser("schedule", help="SPT schedulability analysis")
+    p = sub.add_parser("schedule", help="SPT schedulability analysis",
+                       parents=[trace_parent])
     p.add_argument("model")
     p.set_defaults(fn=cmd_schedule)
 
-    p = sub.add_parser("report", help="one-page quality report")
+    p = sub.add_parser("report", help="one-page quality report",
+                       parents=[trace_parent])
     p.add_argument("model")
     p.add_argument("--platform", action="append",
                    choices=sorted(PLATFORMS))
@@ -505,47 +628,118 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("footprint", help="memory footprint vs platform "
-                                         "budget")
+                                         "budget",
+                       parents=[trace_parent])
     p.add_argument("model")
     p.add_argument("--platform", required=True, choices=sorted(PLATFORMS))
     p.set_defaults(fn=cmd_footprint)
 
-    p = sub.add_parser("diff", help="compare two models")
+    p = sub.add_parser("diff", help="compare two models",
+                       parents=[trace_parent])
     p.add_argument("left")
     p.add_argument("right")
     p.set_defaults(fn=cmd_diff)
 
     p = sub.add_parser("testgen", help="derive transition-coverage "
-                                       "tests from state machines")
+                                       "tests from state machines",
+                       parents=[trace_parent])
     p.add_argument("model")
     p.add_argument("--class", dest="clazz", help="restrict to one class")
     p.add_argument("--depth", type=int, default=12)
     p.set_defaults(fn=cmd_testgen)
 
-    p = sub.add_parser("diagram", help="emit Graphviz DOT")
+    p = sub.add_parser("diagram", help="emit Graphviz DOT",
+                       parents=[trace_parent])
     p.add_argument("model")
     p.add_argument("--kind", choices=["class", "statemachine"],
                    default="class")
     p.add_argument("--name", help="state machine name filter")
     p.set_defaults(fn=cmd_diagram)
 
-    p = sub.add_parser("convert", help="convert between XML and JSON")
+    p = sub.add_parser("convert", help="convert between XML and JSON",
+                       parents=[trace_parent])
     p.add_argument("model")
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(fn=cmd_convert)
+
+    p = sub.add_parser(
+        "profile", help="run a pipeline under the tracer, print the "
+                        "span tree",
+        parents=[trace_parent],
+        description="Enable the observability layer, run the requested "
+                    "toolchain stages over the model, and print the "
+                    "recorded span tree plus the top-N self-time table.",
+        epilog="exit codes: 0 = profiled, 2 = usage/load error")
+    p.add_argument("model")
+    p.add_argument("--pipeline", default="validate,transform,generate",
+                   metavar="STAGES",
+                   help="comma-separated subset of "
+                        f"{','.join(PIPELINE_STAGES)} "
+                        "(default validate,transform,generate)")
+    p.add_argument("--platform", default="posix",
+                   choices=sorted(PLATFORMS),
+                   help="platform for the transform stage")
+    p.add_argument("--lang", default="c", choices=sorted(GENERATORS),
+                   help="language for the generate stage")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows in the self-time table (default 10)")
+    p.add_argument("--min-fraction", type=float, default=0.0,
+                   help="hide spans below this fraction of total time")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "stats", help="dump the metrics registry (Prometheus or JSON)",
+        parents=[trace_parent],
+        description="Print every counter, gauge and histogram in the "
+                    "process-wide metrics registry.  With a model "
+                    "argument, first runs the given pipeline stages "
+                    "instrumented so the registry is populated.",
+        epilog="exit codes: 0 = printed, 2 = usage/load error")
+    p.add_argument("model", nargs="?",
+                   help="optional model to run --pipeline over first")
+    p.add_argument("--pipeline", default="validate",
+                   metavar="STAGES",
+                   help="stages to run when a model is given "
+                        "(default validate)")
+    p.add_argument("--platform", default="posix",
+                   choices=sorted(PLATFORMS))
+    p.add_argument("--lang", default="c", choices=sorted(GENERATORS))
+    p.add_argument("--format", choices=["prom", "json"], default="prom",
+                   help="export format (default prom)")
+    p.set_defaults(fn=cmd_stats)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    sink = None
+    if getattr(args, "trace", None):
+        from . import obs
+        sink = obs.JsonlSink(args.trace)
+        obs.enable(sink)
     try:
+        if sink is not None:
+            from .obs import trace as _trace
+            with _trace.span(f"cli.{args.command}"):
+                return args.fn(args)
         return args.fn(args)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # downstream closed the pipe (e.g. `| head`) — exit quietly;
+        # point stdout at devnull so interpreter shutdown can't re-raise
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     except Exception as exc:            # surface tool errors tersely
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if sink is not None:
+            from . import obs
+            obs.disable()
+            obs.remove_sink(sink)
+            sink.close()
 
 
 if __name__ == "__main__":

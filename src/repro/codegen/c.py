@@ -176,4 +176,5 @@ class CPrinter:
 
 def generate_c(code: CodeModel) -> Dict[str, str]:
     """Convenience: print all units to ``{filename: text}``."""
-    return CPrinter().print_model(code)
+    from .printer import _print_observed
+    return _print_observed("c", lambda: CPrinter().print_model(code))

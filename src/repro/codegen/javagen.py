@@ -164,4 +164,5 @@ class JavaPrinter:
 
 def generate_java(code: CodeModel) -> Dict[str, str]:
     """Convenience: print all classes to ``{filename: text}``."""
-    return JavaPrinter().print_model(code)
+    from .printer import _print_observed
+    return _print_observed("java", lambda: JavaPrinter().print_model(code))

@@ -29,6 +29,8 @@ from ..uml import (
     StateMachine,
     UmlModel,
 )
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .actions import parse_actions, qualify_identifiers, qualify_stmt
 from .ir import (
     AssignStmt,
@@ -226,6 +228,23 @@ def lower_state_machine(cls: Clazz, machine: StateMachine,
 def lower_model(model: UmlModel, name: Optional[str] = None) -> CodeModel:
     """Lower a whole PSM to a :class:`CodeModel` (one unit per package,
     plus one for root-level classes)."""
+    if _trace.ON:
+        with _trace.span("codegen.lower", model=model.name or "?") as sp:
+            code = _lower_model_impl(model, name)
+        sp.tag(units=len(code.units))
+        _metrics.REGISTRY.counter(
+            "codegen.lower.structs",
+            help="struct declarations lowered").inc(
+                sum(len(u.structs) for u in code.units))
+        _metrics.REGISTRY.counter(
+            "codegen.lower.functions",
+            help="function declarations lowered").inc(
+                sum(len(u.functions) for u in code.units))
+        return code
+    return _lower_model_impl(model, name)
+
+
+def _lower_model_impl(model: UmlModel, name: Optional[str]) -> CodeModel:
     code = CodeModel(name=name or model.name)
 
     def _unit_for(package: Package) -> CompilationUnit:

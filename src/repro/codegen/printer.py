@@ -2,7 +2,31 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, Dict, List
+
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+
+
+def _print_observed(lang: str,
+                    print_model: Callable[[], Dict[str, str]]
+                    ) -> Dict[str, str]:
+    """Run a ``generate_*`` body under a ``codegen.print`` span, counting
+    emitted files and source lines per language.  No-op wrapper while the
+    observability layer is off."""
+    if not _trace.ON:
+        return print_model()
+    with _trace.span("codegen.print", lang=lang) as sp:
+        files = print_model()
+    lines = sum(text.count("\n") for text in files.values())
+    sp.tag(files=len(files), lines=lines)
+    _metrics.REGISTRY.counter(
+        "codegen.print.files", help="generated files", lang=lang
+    ).inc(len(files))
+    _metrics.REGISTRY.counter(
+        "codegen.print.lines", help="generated source lines", lang=lang
+    ).inc(lines)
+    return files
 
 
 class CodeWriter:

@@ -147,4 +147,6 @@ class SystemCPrinter:
 
 def generate_systemc(code: CodeModel) -> Dict[str, str]:
     """Convenience: print all units to ``{filename: text}``."""
-    return SystemCPrinter().print_model(code)
+    from .printer import _print_observed
+    return _print_observed("systemc",
+                           lambda: SystemCPrinter().print_model(code))

@@ -42,6 +42,8 @@ from ..mof.validate import (
     ValidationReport,
     validate_element,
 )
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .tracking import CONTAINER_KEY, DependencyGraph, ReadKey, collect_reads
 
 
@@ -467,7 +469,32 @@ class IncrementalEngine:
         self.stats.unit_runs += 1
 
     def revalidate(self) -> ValidationReport:
-        """Bring every cached result up to date; return the merged report."""
+        """Bring every cached result up to date; return the merged report.
+
+        When the observability layer is on, each pass is wrapped in an
+        ``incremental.revalidate`` span and the cache hit/miss balance
+        feeds the ``incremental.units.*`` counters.
+        """
+        if not _trace.ON:
+            return self._revalidate_impl()
+        with _trace.span("incremental.revalidate") as sp:
+            report = self._revalidate_impl()
+        sp.tag(rerun=self.stats.last_rerun, cached=self.stats.last_skipped)
+        registry = _metrics.REGISTRY
+        registry.counter(
+            "incremental.revalidations",
+            help="revalidation passes").inc()
+        registry.counter(
+            "incremental.units.rerun",
+            help="check units re-run (cache misses)").inc(
+                self.stats.last_rerun)
+        registry.counter(
+            "incremental.units.cached",
+            help="check units served from cache (hits)").inc(
+                self.stats.last_skipped)
+        return report
+
+    def _revalidate_impl(self) -> ValidationReport:
         self.stats.revalidations += 1
         if self._structure_dirty or self._roots_changed():
             self._sync_structure()

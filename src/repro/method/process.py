@@ -102,8 +102,8 @@ class DevelopmentProcess:
             suite_result = phase.suite.run(roots) if phase.suite else None
             lint_report = None
             if phase.lint:
-                from ..analysis import lint_model
-                lint_report = lint_model(*roots)
+                from ..analysis import ModelLinter
+                lint_report = ModelLinter().lint(*roots)
             gate_ok = ((suite_result is None or suite_result.passed)
                        and (lint_report is None or lint_report.ok))
             if not gate_ok and enforce_gates:

@@ -17,7 +17,7 @@ from ..mof.validate import ValidationReport, validate_tree
 from ..ocl.invariants import ConstraintSet
 from ..transform.chain import GateVerdict
 from ..uml import Package
-from ..uml.wellformed import check_model
+from ..uml.wellformed import run_wellformed_rules
 
 TestFn = Callable[[List[Element]], Union[bool, ValidationReport]]
 
@@ -99,7 +99,7 @@ class ModelTestSuite:
             report = ValidationReport()
             for root in roots:
                 if isinstance(root, Package):
-                    report.extend(check_model(root))
+                    report.extend(run_wellformed_rules(root))
             return report
         return self.add("uml-wellformedness", run)
 
@@ -121,7 +121,7 @@ class ModelTestSuite:
         def run(roots: List[Element]) -> ValidationReport:
             report = ValidationReport()
             for root in roots:
-                report.extend(constraints.check(root))
+                report.extend(constraints.evaluate(root))
             return report
         return self.add(f"constraints:{constraints.name}", run)
 

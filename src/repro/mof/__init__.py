@@ -46,8 +46,9 @@ from .kernel import (
     MetaPackage,
     Reference,
     set_read_hook,
+    set_write_hook,
 )
-from .notify import ChangeKind, ChangeRecorder, Notification
+from .notify import ChangeKind, ChangeRecorder, Notification, set_notify_hook
 from .query import (
     all_contents,
     closure,
@@ -80,12 +81,14 @@ from .validate import (
     ValidationReport,
     model_path,
     validate_element,
+    validate_invariants,
     validate_model,
     validate_tree,
 )
 
 __all__ = [
-    "Attribute", "CONTAINER_KEY", "set_read_hook",
+    "Attribute", "CONTAINER_KEY", "set_read_hook", "set_write_hook",
+    "set_notify_hook",
     "DiffKind", "DiffResult", "Difference", "compare", "ChangeKind", "ChangeRecorder", "ClassBuilder",
     "CompositionError", "Diagnostic", "DynamicElement", "Element",
     "Feature", "FeatureList", "FrozenElementError", "M_01", "M_0N",
@@ -98,6 +101,6 @@ __all__ = [
     "add_reference", "all_contents", "closure", "cross_references",
     "define_class", "define_enum", "define_package", "find_by_name",
     "instances_of", "model_path", "navigate", "path", "primitive_by_name",
-    "referenced_elements", "select", "validate_element", "validate_model",
-    "validate_tree",
+    "referenced_elements", "select", "validate_element",
+    "validate_invariants", "validate_model", "validate_tree",
 ]

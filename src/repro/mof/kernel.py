@@ -85,6 +85,27 @@ def set_read_hook(hook):
     return previous
 
 
+_WRITE_HOOK = None
+
+
+def set_write_hook(hook):
+    """Install *hook* as the kernel-wide write observer; return the old one.
+
+    When a hook is installed, every high-level feature write — ``eset``,
+    descriptor assignment, dynamic attribute store — calls
+    ``hook(element, feature_name)`` before the mutation is applied.  This
+    is the mutation-count tap used by :mod:`repro.obs`; with no hook
+    installed (``None``) writes pay one global load and a falsy test.
+    Structural side effects (opposite updates, containment moves) are
+    observable through the notification hook instead, so a single logical
+    write is counted once here however many slots it touches.
+    """
+    global _WRITE_HOOK
+    previous = _WRITE_HOOK
+    _WRITE_HOOK = hook
+    return previous
+
+
 # ---------------------------------------------------------------------------
 # Packages and enumerations
 # ---------------------------------------------------------------------------
@@ -811,6 +832,8 @@ def _get_value(obj: "Element", feature: Feature) -> Any:
 
 
 def _set_value(obj: "Element", feature: Feature, value: Any) -> None:
+    if _WRITE_HOOK is not None:
+        _WRITE_HOOK(obj, feature.name)
     if feature.many:
         current = _slot_list(obj, feature)
         if value is current:

@@ -44,6 +44,23 @@ class Notification:
 
 Observer = Callable[[Notification], None]
 
+_NOTIFY_HOOK: Optional[Observer] = None
+
+
+def set_notify_hook(hook: Optional[Observer]) -> Optional[Observer]:
+    """Install *hook* as the process-wide notification observer; return
+    the old one.
+
+    Unlike per-element observers, the hook sees every notification from
+    every element, before local observers run.  It is the tap
+    :mod:`repro.obs` uses for change-kind counters; with no hook
+    installed (``None``) dispatch pays one global load and a falsy test.
+    """
+    global _NOTIFY_HOOK
+    previous = _NOTIFY_HOOK
+    _NOTIFY_HOOK = hook
+    return previous
+
 
 class ObserverMixin:
     """Gives an element an observer list and a ``_notify`` hook.
@@ -69,6 +86,8 @@ class ObserverMixin:
             observers.remove(observer)
 
     def _notify(self, notification: Notification) -> None:
+        if _NOTIFY_HOOK is not None:
+            _NOTIFY_HOOK(notification)
         observers = getattr(self, "_observers", None)
         if observers:
             # Iterate over a snapshot (observers may register/unregister

@@ -1,0 +1,153 @@
+"""``repro.obs`` — zero-dependency observability for every engine layer.
+
+Two pillars:
+
+* :mod:`repro.obs.trace` — hierarchical spans with thread-local stacks,
+  pluggable sinks (in-memory tree, JSONL file) and flamegraph-style text
+  renderers;
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms in the process-wide :data:`REGISTRY`, exportable as
+  Prometheus text or JSON.
+
+Everything is off by default: instrumented call sites in the MOF kernel,
+OCL evaluator, transform engine, codegen, XMI serialisation and the
+incremental engine gate on ``trace.ON`` (one module-attribute read), so
+the disabled overhead is within noise of uninstrumented code — E15
+benchmarks it at <5%.  :func:`enable` flips the flag and installs the
+kernel read/write/notification probes; :func:`disable` restores the
+previous hooks.
+
+Span names are dotted ``<layer>.<operation>`` (``ocl.invariant``,
+``transform.run``, ``incremental.revalidate``); metric names follow the
+same scheme with Prometheus labels for the variable part
+(``ocl.invariant.seconds{invariant=...}``).  See DESIGN.md for the full
+naming table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from . import metrics, trace
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from .trace import (
+    JsonlSink,
+    MemorySink,
+    NULL_SPAN,
+    Span,
+    Tracer,
+    add_sink,
+    aggregate,
+    remove_sink,
+    render_tree,
+    span,
+    top_table,
+    traced,
+)
+
+__all__ = [
+    "Counter", "DEFAULT_BUCKETS", "Gauge", "Histogram", "JsonlSink",
+    "MemorySink", "MetricsRegistry", "NULL_SPAN", "REGISTRY", "Span",
+    "Tracer", "add_sink", "aggregate", "disable", "enable", "is_enabled",
+    "metrics", "remove_sink", "render_tree", "span", "top_table", "trace",
+    "traced",
+]
+
+_prev_hooks: Optional[dict] = None
+
+
+def is_enabled() -> bool:
+    return trace.ON
+
+
+def enable(*sinks: Any) -> None:
+    """Turn the observability layer on.
+
+    Sets the tracing flag every instrumented call site gates on,
+    registers *sinks* with the global tracer and installs the kernel
+    read/write/notification probes feeding the ``mof.*`` counters.
+    Idempotent: a second call only adds sinks.
+    """
+    for sink in sinks:
+        trace.add_sink(sink)
+    if trace.ON:
+        return
+    _install_kernel_probes()
+    trace.ON = True
+
+
+def disable() -> None:
+    """Turn the layer off and restore the previous kernel hooks.
+
+    Sinks stay registered (they see no spans while off); collected
+    metrics stay in :data:`REGISTRY` until ``REGISTRY.reset()``.
+    """
+    if not trace.ON:
+        return
+    trace.ON = False
+    _remove_kernel_probes()
+
+
+def _install_kernel_probes() -> None:
+    global _prev_hooks
+    from ..mof import kernel, notify
+
+    reads = REGISTRY.counter(
+        "mof.reads", help="feature reads seen by the kernel read hook")
+    writes = REGISTRY.counter(
+        "mof.mutations", help="high-level feature writes (eset and friends)")
+    notif_counters = {
+        kind: REGISTRY.counter(
+            "mof.notifications",
+            help="change notifications dispatched, by kind",
+            kind=kind.value)
+        for kind in notify.ChangeKind
+    }
+
+    prev_read = kernel.set_read_hook(None)
+
+    if prev_read is None:
+        def read_probe(element: Any, feature: str) -> None:
+            reads.value += 1
+    else:
+        def read_probe(element: Any, feature: str) -> None:
+            reads.value += 1
+            prev_read(element, feature)
+
+    def write_probe(element: Any, feature: str) -> None:
+        writes.value += 1
+
+    def notify_probe(notification: Any) -> None:
+        notif_counters[notification.kind].value += 1
+
+    kernel.set_read_hook(read_probe)
+    _prev_hooks = {
+        "read": prev_read,
+        "read_probe": read_probe,
+        "write": kernel.set_write_hook(write_probe),
+        "notify": notify.set_notify_hook(notify_probe),
+    }
+
+
+def _remove_kernel_probes() -> None:
+    global _prev_hooks
+    if _prev_hooks is None:
+        return
+    from ..mof import kernel, notify
+
+    kernel.set_write_hook(_prev_hooks["write"])
+    notify.set_notify_hook(_prev_hooks["notify"])
+    # Another party (e.g. an incremental engine inside ``collect_reads``)
+    # may have chained onto our read probe after enable(); only restore
+    # the pre-enable hook if ours is still the innermost one.
+    current = kernel.set_read_hook(_prev_hooks["read"])
+    if current is not _prev_hooks["read_probe"]:
+        kernel.set_read_hook(current)
+    _prev_hooks = None

@@ -1,0 +1,249 @@
+"""Counters, gauges and fixed-bucket histograms with a shared registry.
+
+Zero-dependency, Prometheus-shaped: a *family* is a named metric with a
+kind and help string, and each distinct label combination materialises
+one child instrument.  :data:`REGISTRY` is the process-wide registry
+every engine layer reports into; exporters render it as Prometheus text
+exposition or plain JSON.
+
+Hot-path note: ``inc``/``observe`` deliberately take no lock — under
+CPython the float/int updates are cheap and a rare lost increment in a
+racing thread is an acceptable trade for keeping kernel hooks almost
+free.  Family creation and snapshotting do lock.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import re
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Default latency buckets (seconds): 0.1ms .. 2.5s, +Inf implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: LabelItems) -> None:
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (depths, sizes, ratios)."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: LabelItems) -> None:
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative Prometheus semantics."""
+
+    __slots__ = ("labels", "bounds", "counts", "sum", "count")
+
+    def __init__(self, labels: LabelItems,
+                 bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)   # last slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class _Family:
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(self, name: str, kind: str, help: str,
+                 buckets: Optional[Sequence[float]]) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = tuple(buckets) if buckets else DEFAULT_BUCKETS
+        self.children: Dict[LabelItems, Any] = {}
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store keyed by (name, label items)."""
+
+    _CTORS = {"counter": Counter, "gauge": Gauge}
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    def _instrument(self, kind: str, name: str, help: str,
+                    buckets: Optional[Sequence[float]],
+                    labels: Dict[str, Any]) -> Any:
+        items: LabelItems = tuple(sorted(
+            (k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = self._families[name] = _Family(
+                    name, kind, help, buckets)
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}")
+            child = family.children.get(items)
+            if child is None:
+                if kind == "histogram":
+                    child = Histogram(items, family.buckets)
+                else:
+                    child = self._CTORS[kind](items)
+                family.children[items] = child
+            return child
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        return self._instrument("counter", name, help, None, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        return self._instrument("gauge", name, help, None, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels: Any) -> Histogram:
+        return self._instrument("histogram", name, help, buckets, labels)
+
+    def get(self, name: str, **labels: Any) -> Optional[Any]:
+        items: LabelItems = tuple(sorted(
+            (k, str(v)) for k, v in labels.items()))
+        family = self._families.get(name)
+        return family.children.get(items) if family else None
+
+    def families(self) -> List[str]:
+        return sorted(self._families)
+
+    def reset(self) -> None:
+        """Drop every family — used by tests and benchmark harnesses."""
+        with self._lock:
+            self._families.clear()
+
+    # -- exporters -------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        with self._lock:
+            out: Dict[str, Any] = {}
+            for name in sorted(self._families):
+                family = self._families[name]
+                series = []
+                for items, child in sorted(family.children.items()):
+                    entry: Dict[str, Any] = {"labels": dict(items)}
+                    if family.kind == "histogram":
+                        entry.update(
+                            count=child.count, sum=round(child.sum, 9),
+                            buckets={_le(b): c for b, c in
+                                     _cumulative(child)})
+                    else:
+                        entry["value"] = child.value
+                    series.append(entry)
+                out[name] = {"type": family.kind, "help": family.help,
+                             "series": series}
+            return out
+
+    def render_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent, sort_keys=True)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        with self._lock:
+            lines: List[str] = []
+            for name in sorted(self._families):
+                family = self._families[name]
+                prom = _prom_name(name)
+                if family.kind == "counter":
+                    prom += "_total"
+                if family.help:
+                    lines.append(f"# HELP {prom} {family.help}")
+                lines.append(f"# TYPE {prom} {family.kind}")
+                for items, child in sorted(family.children.items()):
+                    if family.kind == "histogram":
+                        for bound, cum in _cumulative(child):
+                            lines.append(f"{prom}_bucket"
+                                         f"{_labels(items, le=_le(bound))}"
+                                         f" {cum}")
+                        lines.append(f"{prom}_sum{_labels(items)}"
+                                     f" {_num(child.sum)}")
+                        lines.append(f"{prom}_count{_labels(items)}"
+                                     f" {child.count}")
+                    else:
+                        lines.append(f"{prom}{_labels(items)}"
+                                     f" {_num(child.value)}")
+            return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat {name{labels}: value} map for quick asserts in tests."""
+        with self._lock:
+            flat: Dict[str, float] = {}
+            for name, family in self._families.items():
+                for items, child in family.children.items():
+                    key = name + _labels(items)
+                    if family.kind == "histogram":
+                        flat[key + ".count"] = float(child.count)
+                        flat[key + ".sum"] = child.sum
+                    else:
+                        flat[key] = child.value
+            return flat
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def _labels(items: LabelItems, **extra: str) -> str:
+    pairs = [f'{k}="{v}"' for k, v in items]
+    pairs += [f'{k}="{v}"' for k, v in extra.items()]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _le(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else f"{bound:g}"
+
+
+def _num(value: float) -> str:
+    return f"{value:g}"
+
+
+def _cumulative(hist: Histogram) -> List[Tuple[float, int]]:
+    out: List[Tuple[float, int]] = []
+    running = 0
+    for bound, count in zip(hist.bounds + (float("inf"),), hist.counts):
+        running += count
+        out.append((bound, running))
+    return out
+
+
+#: The process-wide registry all engine layers report into.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,307 @@
+"""Hierarchical tracing: spans, sinks and text renderers.
+
+A span is a named, tagged interval measured with ``time.perf_counter``.
+Spans nest: each thread keeps its own stack, so concurrent checkers do
+not interleave their trees.  When tracing is disabled (the default) the
+module-level ``ON`` flag short-circuits ``span()`` into a shared null
+context manager — the cost of an instrumented call site is one global
+read plus one function call.
+
+Finished spans are pushed to pluggable sinks: :class:`MemorySink` keeps
+the completed root trees for in-process inspection, :class:`JsonlSink`
+streams one JSON object per span to a file for offline analysis.
+``render_tree`` and ``top_table`` turn a forest of spans into the
+flamegraph-style text dumps used by ``python -m repro profile``.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import json
+import threading
+import time
+from typing import Any, Callable, Dict, IO, List, Optional, Sequence, Union
+
+#: Master switch.  Instrumented call sites read this attribute before
+#: building span tags; ``span()`` reads it again before allocating.
+ON = False
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def tag(self, **tags: Any) -> "_NullSpan":
+        return self
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed interval in a trace tree.  Used as a context manager."""
+
+    __slots__ = ("tracer", "span_id", "parent_id", "name", "tags",
+                 "started", "ended", "children", "thread_name")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 tags: Optional[Dict[str, Any]] = None) -> None:
+        self.tracer = tracer
+        self.span_id = next(tracer._ids)
+        self.parent_id: Optional[int] = None
+        self.name = name
+        self.tags: Dict[str, Any] = dict(tags) if tags else {}
+        self.started = 0.0
+        self.ended = 0.0
+        self.children: List[Span] = []
+        self.thread_name = ""
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds; 0.0 until the span has finished."""
+        return self.ended - self.started if self.ended else 0.0
+
+    @property
+    def self_time(self) -> float:
+        """Duration minus the time attributed to child spans."""
+        return self.duration - sum(c.duration for c in self.children)
+
+    def tag(self, **tags: Any) -> "Span":
+        self.tags.update(tags)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = self.tracer._stack()
+        if stack:
+            parent = stack[-1]
+            self.parent_id = parent.span_id
+            parent.children.append(self)
+        stack.append(self)
+        self.thread_name = threading.current_thread().name
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.ended = time.perf_counter()
+        stack = self.tracer._stack()
+        depth = len(stack) - 1
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:            # unbalanced exit; recover anyway
+            stack.remove(self)
+            depth = 0
+        for sink in self.tracer._sinks:
+            sink.on_finish(self, depth)
+        return False
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, "
+                f"children={len(self.children)})")
+
+
+class Tracer:
+    """Owns the per-thread span stacks and the sink list."""
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._sinks: List[Any] = []
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def add_sink(self, sink: Any) -> None:
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks.append(sink)
+
+    def remove_sink(self, sink: Any) -> None:
+        with self._lock:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+
+_TRACER = Tracer()
+
+
+def span(name: str, **tags: Any) -> Union[Span, _NullSpan]:
+    """Open a span under the current thread's innermost span.
+
+    Returns the shared :data:`NULL_SPAN` while tracing is disabled, so
+    bare ``with span("x"):`` costs almost nothing when off.  Call sites
+    with expensive tag expressions should additionally gate on
+    ``trace.ON`` to skip building the keyword dict.
+    """
+    if not ON:
+        return NULL_SPAN
+    return Span(_TRACER, name, tags)
+
+
+def traced(name: Optional[str] = None, **tags: Any) -> Callable:
+    """Decorator form: wraps the callable in a span named after it."""
+
+    def decorate(fn: Callable) -> Callable:
+        span_name = name or f"{fn.__module__.split('.')[-1]}.{fn.__name__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not ON:
+                return fn(*args, **kwargs)
+            with Span(_TRACER, span_name, tags):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+def add_sink(sink: Any) -> None:
+    _TRACER.add_sink(sink)
+
+
+def remove_sink(sink: Any) -> None:
+    _TRACER.remove_sink(sink)
+
+
+class MemorySink:
+    """Keeps finished root spans (with their subtree) in memory."""
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self.span_count = 0
+        self._lock = threading.Lock()
+
+    def on_finish(self, span: Span, depth: int) -> None:
+        with self._lock:
+            self.span_count += 1
+            if depth == 0:
+                self.roots.append(span)
+
+    def clear(self) -> None:
+        with self._lock:
+            self.roots.clear()
+            self.span_count = 0
+
+
+class JsonlSink:
+    """Streams one JSON object per finished span to *target*.
+
+    *target* may be a path or an open text file.  Spans are written as
+    they finish (children before parents, as in any post-order trace);
+    the ``parent`` id field lets readers rebuild the tree.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._fh: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.span_count = 0
+        self._lock = threading.Lock()
+
+    def on_finish(self, span: Span, depth: int) -> None:
+        record = {
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "depth": depth,
+            "start": round(span.started, 9),
+            "ms": round(span.duration * 1e3, 6),
+            "thread": span.thread_name,
+        }
+        if span.tags:
+            record["tags"] = {k: _jsonable(v) for k, v in span.tags.items()}
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            self.span_count += 1
+            self._fh.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            self._fh.flush()
+            if self._owns:
+                self._fh.close()
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def render_tree(roots: Sequence[Span], *, min_fraction: float = 0.0) -> str:
+    """Indented flamegraph-style dump of a span forest.
+
+    Children contributing less than *min_fraction* of their root's
+    duration are folded into a ``... (+n)`` line.
+    """
+    out: List[str] = []
+
+    def walk(span: Span, indent: int, total: float) -> None:
+        pct = f" {span.duration / total * 100:5.1f}%" if total else ""
+        tags = ""
+        if span.tags:
+            tags = " " + " ".join(f"{k}={v}" for k, v in
+                                  sorted(span.tags.items()))
+        out.append(f"{'  ' * indent}{span.duration * 1e3:9.3f}ms{pct} "
+                   f"{span.name}{tags}")
+        hidden = 0
+        for child in span.children:
+            if total and child.duration < total * min_fraction:
+                hidden += 1
+                continue
+            walk(child, indent + 1, total)
+        if hidden:
+            out.append(f"{'  ' * (indent + 1)}      ... (+{hidden} "
+                       f"below {min_fraction * 100:g}%)")
+
+    for root in roots:
+        walk(root, 0, root.duration)
+    return "\n".join(out)
+
+
+def aggregate(roots: Sequence[Span]) -> List[Dict[str, Any]]:
+    """Fold a span forest into per-name rows sorted by self-time."""
+    rows: Dict[str, Dict[str, Any]] = {}
+
+    def walk(span: Span) -> None:
+        row = rows.setdefault(span.name, {
+            "name": span.name, "calls": 0, "total_s": 0.0, "self_s": 0.0})
+        row["calls"] += 1
+        row["total_s"] += span.duration
+        row["self_s"] += span.self_time
+        for child in span.children:
+            walk(child)
+
+    for root in roots:
+        walk(root)
+    return sorted(rows.values(), key=lambda r: r["self_s"], reverse=True)
+
+
+def top_table(roots: Sequence[Span], n: int = 10) -> str:
+    """The profile verb's top-N table: hot names by cumulative self-time."""
+    rows = aggregate(roots)[:n]
+    out = [f"{'self ms':>10} {'total ms':>10} {'calls':>7}  name"]
+    for row in rows:
+        out.append(f"{row['self_s'] * 1e3:>10.3f} "
+                   f"{row['total_s'] * 1e3:>10.3f} "
+                   f"{row['calls']:>7}  {row['name']}")
+    return "\n".join(out)

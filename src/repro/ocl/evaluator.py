@@ -18,6 +18,8 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..mof.kernel import Element, FeatureList, MetaClass, MetaPackage
 from ..mof.repository import Model, Repository
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .ast import (
     ArrowCall,
     TupleLiteral,
@@ -44,6 +46,7 @@ class Environment:
 
     def __init__(self, parent: Optional["Environment"] = None):
         self.parent = parent
+        self.depth = parent.depth + 1 if parent is not None else 0
         self.vars: Dict[str, Any] = {}
         self._types: Dict[str, MetaClass] = {}
         self._instance_scope: Optional[Callable[[MetaClass], List[Element]]] \
@@ -99,7 +102,13 @@ class Environment:
     # -- scoping ----------------------------------------------------------
 
     def child(self) -> "Environment":
-        return Environment(parent=self)
+        child = Environment(parent=self)
+        if _trace.ON:
+            _metrics.REGISTRY.histogram(
+                "ocl.env.depth",
+                help="environment nesting depth at scope creation",
+                buckets=(1, 2, 4, 8, 16, 32, 64)).observe(child.depth)
+        return child
 
     def define(self, name: str, value: Any) -> None:
         self.vars[name] = value

@@ -9,11 +9,14 @@ testable" discipline the paper requires.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Iterable, List, Optional, Union
 
 from ..mof.kernel import Element, MetaClass, MetaPackage
 from ..mof.repository import Model
 from ..mof.validate import Severity, ValidationReport
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .ast import Node
 from .errors import OclError
 from .evaluator import Environment, OclEvaluator, _EVALUATOR
@@ -41,10 +44,29 @@ class Invariant:
     def holds(self, element: Element) -> bool:
         """Evaluate the invariant for *element* (must conform to context).
 
-        The type namespace is built from the context metaclass's package
-        (plus the element's own and its root's) rather than by scanning the
-        whole model, so checking n elements stays O(n).
+        When the observability layer is on, each evaluation is wrapped in
+        an ``ocl.invariant`` span and timed into the per-invariant
+        ``ocl.invariant.seconds`` histogram.
         """
+        if not _trace.ON:
+            return self._holds_impl(element)
+        sp = _trace.span("ocl.invariant", invariant=self.name,
+                         context=self.context.name)
+        with sp:
+            result = self._holds_impl(element)
+        _metrics.REGISTRY.counter(
+            "ocl.invariant.evals",
+            help="invariant evaluations").inc()
+        _metrics.REGISTRY.histogram(
+            "ocl.invariant.seconds",
+            help="per-invariant evaluation time",
+            invariant=self.name).observe(sp.duration)
+        return result
+
+    def _holds_impl(self, element: Element) -> bool:
+        # The type namespace is built from the context metaclass's package
+        # (plus the element's own and its root's) rather than by scanning
+        # the whole model, so checking n elements stays O(n).
         env = Environment()
         packages = list(self.packages or [])
         for candidate in (self.context.package, element.meta.package,
@@ -98,9 +120,13 @@ class ConstraintSet:
         self.invariants.append(inv)
         return inv
 
-    def check(self, scope: Union[Model, Element]) -> ValidationReport:
+    def evaluate(self, scope: Union[Model, Element]) -> ValidationReport:
         """Check every invariant against all conforming elements in scope
-        (without requiring registration on the metaclasses)."""
+        (without requiring registration on the metaclasses).
+
+        This is the engine-level building block behind the
+        ``"constraint"`` family of :meth:`repro.session.Session.check`.
+        """
         report = ValidationReport()
         elements: Iterable[Element]
         if isinstance(scope, Model):
@@ -125,20 +151,35 @@ class ConstraintSet:
                                code="invariant")
         return report
 
-    def watch(self, scope: Union[Model, Element]) -> Any:
-        """An incrementally maintained :meth:`check` over *scope*.
+    def check(self, scope: Union[Model, Element]) -> ValidationReport:
+        """Deprecated alias of :meth:`evaluate`.
 
-        Returns a primed :class:`repro.incremental.IncrementalEngine`
-        restricted to this constraint set: after each model edit,
-        ``engine.revalidate()`` re-evaluates only the invariants whose
-        read set the edit touched.
+        .. deprecated::
+            Use :meth:`repro.session.Session.check` with
+            ``constraint_sets=[...]`` (or :meth:`evaluate` directly).
         """
-        from ..incremental import IncrementalEngine
-        engine = IncrementalEngine(scope, structural=False,
-                                   invariants=False, wellformed=False,
-                                   lint=False, constraint_sets=[self])
-        engine.revalidate()
-        return engine
+        warnings.warn(
+            "ConstraintSet.check() is deprecated; use repro.session."
+            "Session(scope, constraint_sets=[cs]).check("
+            "families=('constraint',)) or ConstraintSet.evaluate()",
+            DeprecationWarning, stacklevel=2)
+        return self.evaluate(scope)
+
+    def watch(self, scope: Union[Model, Element]) -> Any:
+        """An incrementally maintained :meth:`evaluate` over *scope*.
+
+        .. deprecated::
+            Use :meth:`repro.session.Session.watch` with
+            ``constraint_sets=[...]``; this shim delegates to it.
+        """
+        warnings.warn(
+            "ConstraintSet.watch() is deprecated; use repro.session."
+            "Session(scope, constraint_sets=[cs]).watch("
+            "families=('constraint',))",
+            DeprecationWarning, stacklevel=2)
+        from ..session import Session
+        return Session(scope, constraint_sets=[self]).watch(
+            families=("constraint",))
 
     def register_all(self) -> None:
         for inv in self.invariants:

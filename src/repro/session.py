@@ -1,0 +1,333 @@
+"""``repro.session`` — the unified checking/session facade.
+
+Historically the workbench grew five separate check/watch entry points
+(``mof.validate.validate_model``, ``uml.wellformed.check_model`` /
+``watch_model``, ``ConstraintSet.check``/``watch``, ``lint_model`` /
+``ModelLinter.watch``, ``validation.report.quality_report``) with
+inconsistent signatures and severities.  :class:`Session` wraps them all
+behind two verbs:
+
+* :meth:`Session.check` — run any subset of the checker *families*
+  (``structural``, ``invariant``, ``wellformed``, ``lint``,
+  ``constraint``) and get one merged :class:`CheckResult` of
+  :class:`~repro.mof.validate.Diagnostic` records;
+* :meth:`Session.watch` — the same subset, incrementally maintained by a
+  primed :class:`~repro.incremental.IncrementalEngine`.
+
+Each family delegates to the engine-level building block the legacy
+entry point used (``validate_tree``, ``validate_invariants``,
+``run_wellformed_rules``, ``ModelLinter.lint``,
+``ConstraintSet.evaluate``), so results are multiset-identical to the
+legacy API — the parity suite in ``tests/test_session.py`` holds that
+equality over the generated model corpus.  The legacy entry points
+remain importable as thin shims that emit :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .analysis import LintConfig, ModelLinter, RuleRegistry
+from .mof.kernel import Element
+from .mof.repository import Model
+from .mof.validate import (
+    Diagnostic,
+    Severity,
+    ValidationReport,
+    validate_invariants,
+    validate_tree,
+)
+from .obs import metrics as _metrics
+from .obs import trace as _trace
+
+Scope = Union[Model, Element, Sequence[Element]]
+
+#: Every checker family, in report order.
+FAMILIES: Tuple[str, ...] = (
+    "structural", "invariant", "wellformed", "lint", "constraint")
+
+#: Families run by default (``constraint`` joins when the session has
+#: constraint sets).
+DEFAULT_FAMILIES: Tuple[str, ...] = (
+    "structural", "invariant", "wellformed", "lint")
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+def _as_severity(severity: Union[str, Severity, None]) -> Optional[Severity]:
+    if severity is None or isinstance(severity, Severity):
+        return severity
+    try:
+        return Severity(severity)
+    except ValueError:
+        raise ValueError(
+            f"unknown severity {severity!r}; expected one of "
+            f"{sorted(s.value for s in Severity)}") from None
+
+
+class CheckResult:
+    """The merged outcome of one :meth:`Session.check` call."""
+
+    def __init__(self, by_family: Dict[str, List[Diagnostic]]):
+        self.by_family = by_family
+        self.families: Tuple[str, ...] = tuple(by_family)
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        """All diagnostics, in family order."""
+        out: List[Diagnostic] = []
+        for family in self.families:
+            out.extend(self.by_family[family])
+        return out
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def infos(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.INFO]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def filtered(self, severity: Union[str, Severity, None]) -> "CheckResult":
+        """A copy keeping only diagnostics at or above *severity*."""
+        minimum = _as_severity(severity)
+        if minimum is None:
+            return self
+        floor = _SEVERITY_RANK[minimum]
+        return CheckResult({
+            family: [d for d in diagnostics
+                     if _SEVERITY_RANK[d.severity] >= floor]
+            for family, diagnostics in self.by_family.items()})
+
+    def as_validation_report(self) -> ValidationReport:
+        return ValidationReport(diagnostics=self.diagnostics)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+            "families": {
+                family: [_diagnostic_json(d) for d in diagnostics]
+                for family, diagnostics in self.by_family.items()},
+        }
+
+    def render(self, format: str = "text") -> str:
+        if format == "json":
+            return json.dumps(self.to_json(), indent=2)
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(f"check: {len(self.errors)} error(s), "
+                     f"{len(self.warnings)} warning(s), "
+                     f"{len(self.infos)} info(s) "
+                     f"[{', '.join(self.families)}]")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<CheckResult families={list(self.families)} "
+                f"errors={len(self.errors)} warnings={len(self.warnings)}>")
+
+
+def _diagnostic_json(diagnostic: Diagnostic) -> Dict[str, Any]:
+    return {
+        "severity": diagnostic.severity.value,
+        "code": diagnostic.code,
+        "message": diagnostic.message,
+        "path": diagnostic.path,
+        "element": repr(diagnostic.element),
+        "hint": diagnostic.hint,
+    }
+
+
+class Session:
+    """One model scope plus everything needed to check it uniformly.
+
+    *scope* is a :class:`~repro.mof.repository.Model`, a single root
+    element, or a sequence of roots (same contract as the incremental
+    engine).  *constraint_sets* supplies detached
+    :class:`~repro.ocl.invariants.ConstraintSet` groups for the
+    ``constraint`` family; *registry*/*lint_config* parameterize the
+    ``lint`` family.
+    """
+
+    def __init__(self, scope: Scope, *,
+                 constraint_sets: Iterable[Any] = (),
+                 registry: Optional[RuleRegistry] = None,
+                 lint_config: Optional[LintConfig] = None):
+        from .incremental.engine import IncrementalEngine
+        self.scope = scope
+        self.model = IncrementalEngine._resolve_scope(scope)
+        self.constraint_sets = list(constraint_sets)
+        self.registry = registry
+        self.lint_config = lint_config
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str, **kwargs: Any) -> "Session":
+        """Open a session over a serialized model file (.xmi/.xml/.json),
+        with all bundled profiles available for stereotype resolution."""
+        from .cli import load_model
+        return cls(load_model(path), **kwargs)
+
+    @property
+    def roots(self) -> List[Element]:
+        return list(self.model.roots)
+
+    # -- batch checking ----------------------------------------------------
+
+    def check(self, families: Optional[Iterable[str]] = None, *,
+              severity: Union[str, Severity, None] = None) -> CheckResult:
+        """Run the requested checker *families*; merge their diagnostics.
+
+        With ``families=None``, runs structural, invariant, wellformed
+        and lint checks — plus constraint checks when the session has
+        constraint sets.  *severity* keeps only diagnostics at or above
+        the given floor.
+        """
+        selected = self._resolve_families(families)
+        by_family: Dict[str, List[Diagnostic]] = {}
+        with (_trace.span("session.check", families=",".join(selected))
+              if _trace.ON else _trace.NULL_SPAN):
+            for family in selected:
+                with (_trace.span(f"session.check.{family}")
+                      if _trace.ON else _trace.NULL_SPAN):
+                    if family == "lint":
+                        by_family[family] = self._check_lint(selected)
+                    else:
+                        by_family[family] = getattr(
+                            self, f"_check_{family}")()
+        result = CheckResult(by_family)
+        if _trace.ON:
+            for family in selected:
+                _metrics.REGISTRY.counter(
+                    "session.checks", help="family runs per Session.check",
+                    family=family).inc()
+            for diagnostic in result.diagnostics:
+                _metrics.REGISTRY.counter(
+                    "session.diagnostics",
+                    help="diagnostics returned, by severity",
+                    severity=diagnostic.severity.value).inc()
+        return result.filtered(severity)
+
+    def _resolve_families(self,
+                          families: Optional[Iterable[str]]
+                          ) -> Tuple[str, ...]:
+        if families is None:
+            selected = DEFAULT_FAMILIES + (
+                ("constraint",) if self.constraint_sets else ())
+        else:
+            requested = tuple(families)
+            unknown = [f for f in requested if f not in FAMILIES]
+            if unknown:
+                raise ValueError(
+                    f"unknown checker families {unknown}; "
+                    f"expected a subset of {list(FAMILIES)}")
+            # report in canonical order, ignoring duplicates
+            selected = tuple(f for f in FAMILIES if f in requested)
+        return selected
+
+    def _check_structural(self) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        for root in self.model.roots:
+            out.extend(validate_tree(root, check_invariants=False)
+                       .diagnostics)
+        return out
+
+    def _check_invariant(self) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        for root in self.model.roots:
+            out.extend(validate_invariants(root).diagnostics)
+        return out
+
+    def _check_wellformed(self) -> List[Diagnostic]:
+        from .uml.package import Package
+        from .uml.wellformed import run_wellformed_rules
+        out: List[Diagnostic] = []
+        for root in self.model.roots:
+            if isinstance(root, Package):
+                out.extend(run_wellformed_rules(root).diagnostics)
+        return out
+
+    def _check_lint(self, selected: Tuple[str, ...] = ()
+                    ) -> List[Diagnostic]:
+        config = self.lint_config
+        if config is None and "wellformed" in selected:
+            # the wellformed family already reports the uml-* rules;
+            # don't let lint's bundled bridge rule repeat them
+            config = LintConfig(disabled={"uml-wellformed"})
+        linter = ModelLinter(self.registry, config)
+        return list(linter.lint(*self.model.roots).diagnostics)
+
+    def _check_constraint(self) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        scopes: List[Union[Model, Element]]
+        if isinstance(self.scope, (Model, Element)):
+            scopes = [self.scope]
+        else:
+            scopes = list(self.model.roots)
+        for constraint_set in self.constraint_sets:
+            for scope in scopes:
+                out.extend(constraint_set.evaluate(scope).diagnostics)
+        return out
+
+    # -- incremental checking ----------------------------------------------
+
+    def watch(self, families: Optional[Iterable[str]] = None, *,
+              wellformed_rules: Optional[Iterable[Any]] = None):
+        """An incrementally maintained :meth:`check` over this scope.
+
+        Returns a primed :class:`~repro.incremental.IncrementalEngine`
+        restricted to the requested families; after each model edit,
+        ``engine.revalidate()`` re-runs only the (check, element) units
+        whose recorded read set the edit touched.
+        """
+        from .incremental.engine import IncrementalEngine
+        selected = self._resolve_families(families)
+        wellformed = "wellformed" in selected
+        engine = IncrementalEngine(
+            self.scope,
+            structural="structural" in selected,
+            invariants="invariant" in selected,
+            constraint_sets=(self.constraint_sets
+                             if "constraint" in selected else ()),
+            wellformed=wellformed,
+            wellformed_rules=(list(wellformed_rules)
+                              if wellformed_rules is not None and wellformed
+                              else None),
+            lint="lint" in selected,
+            registry=self.registry,
+            config=self.lint_config)
+        engine.revalidate()
+        return engine
+
+    # -- aggregate reporting -----------------------------------------------
+
+    def quality_report(self, root: Optional[Element] = None, **kwargs: Any):
+        """The one-page quality dashboard for a root of this session
+        (defaults to the sole root; see
+        :func:`repro.validation.report.build_quality_report` for the
+        keyword arguments)."""
+        from .validation.report import build_quality_report
+        if root is None:
+            roots = self.model.roots
+            if len(roots) != 1:
+                raise ValueError(
+                    f"session has {len(roots)} roots; pass root= to pick "
+                    f"one")
+            root = roots[0]
+        return build_quality_report(root, **kwargs)
+
+    def __repr__(self) -> str:
+        return (f"<Session model={self.model.uri!r} "
+                f"roots={len(self.model.roots)} "
+                f"constraint_sets={len(self.constraint_sets)}>")

@@ -24,6 +24,8 @@ from typing import Any, Dict, Iterable, List, Optional, Union
 
 from ..mof.kernel import Element
 from ..mof.repository import Model
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .errors import TransformError, UnresolvedTraceError
 from .rule import Rule
 from .trace import DEFAULT_ROLE, TraceLink, TraceModel
@@ -129,32 +131,75 @@ class Transformation:
             platform: Any = None,
             parameters: Optional[Dict[str, Any]] = None
             ) -> TransformationResult:
-        """Transform *source* (a model, one root, or several roots)."""
+        """Transform *source* (a model, one root, or several roots).
+
+        When the observability layer is on, the run and its two phases
+        are wrapped in ``transform.*`` spans and every rule's match and
+        apply costs feed per-rule histograms/counters.
+        """
         started = time.perf_counter()
         roots = self._roots_of(source)
         ctx = TransformationContext(self, roots, platform, parameters)
         visited = 0
+        obs_on = _trace.ON          # sampled once per run
+        run_span = (_trace.span("transform.run", transformation=self.name,
+                                kind=self.kind) if obs_on else _trace.NULL_SPAN)
+        with run_span:
+            # Phase 1: create
+            with (_trace.span("transform.create") if obs_on
+                  else _trace.NULL_SPAN):
+                for element in self._all_elements(roots):
+                    visited += 1
+                    for candidate in self.rules:
+                        if candidate.lazy:
+                            continue
+                        if obs_on:
+                            t0 = time.perf_counter()
+                            matched = candidate.matches(element, ctx)
+                            _metrics.REGISTRY.histogram(
+                                "transform.rule.match.seconds",
+                                help="per-rule match-test time",
+                                rule=candidate.name,
+                            ).observe(time.perf_counter() - t0)
+                            if not matched:
+                                continue
+                            t0 = time.perf_counter()
+                            self._apply_rule(candidate, element, ctx)
+                            _metrics.REGISTRY.histogram(
+                                "transform.rule.apply.seconds",
+                                help="per-rule create-phase apply time",
+                                rule=candidate.name,
+                            ).observe(time.perf_counter() - t0)
+                            _metrics.REGISTRY.counter(
+                                "transform.rule.applies",
+                                help="create-phase rule applications",
+                                rule=candidate.name).inc()
+                        else:
+                            if not candidate.matches(element, ctx):
+                                continue
+                            self._apply_rule(candidate, element, ctx)
+                        if candidate.exclusive:
+                            break
 
-        # Phase 1: create
-        for element in self._all_elements(roots):
-            visited += 1
-            for candidate in self.rules:
-                if candidate.lazy or not candidate.matches(element, ctx):
-                    continue
-                self._apply_rule(candidate, element, ctx)
-                if candidate.exclusive:
-                    break
+            # Phase 2: bind
+            with (_trace.span("transform.bind") if obs_on
+                  else _trace.NULL_SPAN):
+                for link in list(ctx.trace):
+                    self._bind_link(link, ctx)
 
-        # Phase 2: bind
-        for link in list(ctx.trace):
-            self._bind_link(link, ctx)
-
-        result = TransformationResult(
-            target_roots=self._collect_roots(ctx),
-            trace=ctx.trace,
-            elements_visited=visited,
-            elapsed_seconds=time.perf_counter() - started,
-        )
+            result = TransformationResult(
+                target_roots=self._collect_roots(ctx),
+                trace=ctx.trace,
+                elements_visited=visited,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+            if obs_on:
+                run_span.tag(elements=visited, links=len(list(ctx.trace)))
+                _metrics.REGISTRY.counter(
+                    "transform.runs", help="transformation executions").inc()
+                _metrics.REGISTRY.counter(
+                    "transform.elements.visited",
+                    help="source elements offered to rules").inc(visited)
         return result
 
     @staticmethod

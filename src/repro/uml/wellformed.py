@@ -9,13 +9,14 @@ Each rule appends :class:`~repro.mof.validate.Diagnostic` entries — the
 record shared with the structural validator and the
 :mod:`repro.analysis` lint engine, carrying a stable ``uml-*`` code,
 the element's containment path and an optional fix hint — to a shared
-:class:`~repro.mof.validate.ValidationReport`; ``check_model`` runs all
-of them (and stays the backward-compatible entry point; the lint
-engine re-runs the same rules through its registry).
+:class:`~repro.mof.validate.ValidationReport`; ``run_wellformed_rules``
+runs all of them (``check_model`` remains as a deprecated alias; the
+lint engine re-runs the same rules through its registry).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, List, Set
 
 from ..mof import Severity, ValidationReport, instances_of
@@ -279,26 +280,45 @@ ALL_RULES: List[Rule] = [
 ]
 
 
-def check_model(root: Package,
-                rules: List[Rule] = None) -> ValidationReport:
-    """Run all (or the given) well-formedness rules over *root*."""
+def run_wellformed_rules(root: Package,
+                         rules: List[Rule] = None) -> ValidationReport:
+    """Run all (or the given) well-formedness rules over *root*.
+
+    This is the engine-level building block behind the ``"wellformed"``
+    family of :meth:`repro.session.Session.check`.
+    """
     report = ValidationReport()
     for rule in (rules if rules is not None else ALL_RULES):
         rule(root, report)
     return report
 
 
-def watch_model(root: Package, rules: List[Rule] = None):
-    """An incrementally maintained :func:`check_model` over *root*.
+def check_model(root: Package,
+                rules: List[Rule] = None) -> ValidationReport:
+    """Deprecated alias of :func:`run_wellformed_rules`.
 
-    Returns a primed :class:`repro.incremental.IncrementalEngine`
-    restricted to the well-formedness rules; after each edit,
-    ``engine.revalidate()`` re-runs only the rules whose read set the
-    edit touched and serves the rest from cache.
+    .. deprecated::
+        Use :meth:`repro.session.Session.check` with the
+        ``"wellformed"`` family (or :func:`run_wellformed_rules`).
     """
-    from ..incremental import IncrementalEngine
-    engine = IncrementalEngine(root, structural=False, invariants=False,
-                               lint=False, wellformed=True,
+    warnings.warn(
+        "check_model() is deprecated; use repro.session.Session(root)."
+        "check(families=('wellformed',)) or run_wellformed_rules()",
+        DeprecationWarning, stacklevel=2)
+    return run_wellformed_rules(root, rules)
+
+
+def watch_model(root: Package, rules: List[Rule] = None):
+    """An incrementally maintained well-formedness check over *root*.
+
+    .. deprecated::
+        Use :meth:`repro.session.Session.watch` with the
+        ``"wellformed"`` family; this shim delegates to it.
+    """
+    warnings.warn(
+        "watch_model() is deprecated; use repro.session.Session(root)."
+        "watch(families=('wellformed',))",
+        DeprecationWarning, stacklevel=2)
+    from ..session import Session
+    return Session(root).watch(families=("wellformed",),
                                wellformed_rules=rules)
-    engine.revalidate()
-    return engine

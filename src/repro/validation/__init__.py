@@ -12,7 +12,12 @@
 """
 
 from .activity_sim import ActivityInterpreter, ActivityRun, run_activity
-from .report import QualityReport, SectionResult, quality_report
+from .report import (
+    QualityReport,
+    SectionResult,
+    build_quality_report,
+    quality_report,
+)
 from .animation import (
     attribute_series,
     sequence_diagram,
@@ -68,7 +73,8 @@ __all__ = [
     "measure_offered_latency", "run_generated_tests",
     "interaction_from_trace", "promote_to_regression",
     "scenario_from_interaction",
-    "SectionResult", "quality_report", "run_activity", "Collaboration", "Event", "ModelCheckResult",
+    "SectionResult", "build_quality_report", "quality_report",
+    "run_activity", "Collaboration", "Event", "ModelCheckResult",
     "ModelChecker", "ModelMetrics", "ObjectInstance", "Scenario",
     "ScenarioResult", "SimulationError", "StateMachineInterpreter",
     "TraceEntry", "Violation", "attribute_series", "check_collaboration",

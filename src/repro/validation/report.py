@@ -9,6 +9,7 @@ traceability folded into one text report with an overall verdict.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -18,7 +19,7 @@ from ..mof.validate import ValidationReport, validate_tree
 from ..platforms.base import PlatformModel
 from ..profiles.sysml import traceability_matrix
 from ..uml import Package
-from ..uml.wellformed import check_model
+from ..uml.wellformed import run_wellformed_rules
 from .metrics import compute_model_metrics
 
 
@@ -56,12 +57,12 @@ class QualityReport:
         return "\n".join(out)
 
 
-def quality_report(root: Package, *,
-                   platforms: Sequence[PlatformModel] = (),
-                   include_traceability: bool = False,
-                   max_coupling_density: float = 0.75,
-                   max_single_operation_ratio: float = 0.5,
-                   incremental=None) -> QualityReport:
+def build_quality_report(root: Package, *,
+                         platforms: Sequence[PlatformModel] = (),
+                         include_traceability: bool = False,
+                         max_coupling_density: float = 0.75,
+                         max_single_operation_ratio: float = 0.5,
+                         incremental=None) -> QualityReport:
     """Run every applicable model test over *root* and fold the results.
 
     When *incremental* is a primed
@@ -69,6 +70,9 @@ def quality_report(root: Package, *,
     structural, well-formedness and lint sections are served from its
     (freshly revalidated) caches instead of full re-walks — the metrics,
     purity and traceability sections are cheap and always recomputed.
+
+    This is the building block behind
+    :meth:`repro.session.Session.quality_report`.
     """
     report = QualityReport(root.name or "(unnamed)")
 
@@ -81,7 +85,7 @@ def quality_report(root: Package, *,
         lint = kinds.get("lint", ValidationReport())
     else:
         structural = validate_tree(root)
-        wellformed = check_model(root)
+        wellformed = run_wellformed_rules(root)
         lint = ModelLinter(config=LintConfig(
             disabled={"uml-wellformed"})).lint(root)
 
@@ -132,3 +136,17 @@ def quality_report(root: Package, *,
             "requirement traceability", trace_ok, lines))
 
     return report
+
+
+def quality_report(root: Package, **kwargs) -> QualityReport:
+    """Deprecated alias of :func:`build_quality_report`.
+
+    .. deprecated::
+        Use :meth:`repro.session.Session.quality_report` (or
+        :func:`build_quality_report`); same keyword arguments.
+    """
+    warnings.warn(
+        "quality_report() is deprecated; use repro.session.Session(root)."
+        "quality_report(...) or build_quality_report()",
+        DeprecationWarning, stacklevel=2)
+    return build_quality_report(root, **kwargs)

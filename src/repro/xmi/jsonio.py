@@ -9,9 +9,10 @@ from typing import Any, Dict, Iterable, List, Optional, Union
 from ..mof.errors import RepositoryError
 from ..mof.kernel import Attribute, Element, MetaPackage, Reference
 from ..mof.repository import Model, Repository
+from ..obs import trace as _trace
 from .ids import assign_ids
 from .reader import TypeRegistry, _stereotype_registry
-from .writer import _should_serialize, _type_label
+from .writer import _observe_io, _should_serialize, _type_label
 
 
 def to_dict(element: Element, ids: Dict[int, str]) -> Dict[str, Any]:
@@ -81,14 +82,22 @@ def write_json(source: Union[Model, Element], *, indent: int = 2,
         roots, uri, name = list(source.roots), source.uri, source.name
     else:
         roots = [source]
-    ids = assign_ids(roots)
-    document = {
-        "uri": uri,
-        "name": name,
-        "version": "1.0",
-        "roots": [to_dict(root, ids) for root in roots],
-    }
-    return json.dumps(document, indent=indent)
+    def _build() -> str:
+        ids = assign_ids(roots)
+        document = {
+            "uri": uri,
+            "name": name,
+            "version": "1.0",
+            "roots": [to_dict(root, ids) for root in roots],
+        }
+        return json.dumps(document, indent=indent)
+
+    if _trace.ON:
+        with _trace.span("xmi.write", format="json") as sp:
+            text = _build()
+        _observe_io(sp, "xmi.write", "json", roots, len(text))
+        return text
+    return _build()
 
 
 class JsonReader:
@@ -181,7 +190,12 @@ def read_json(text: str, packages: Iterable[MetaPackage], *,
               repository: Optional[Repository] = None) -> Model:
     """Parse JSON text into a fresh :class:`Model` (see :func:`read_xml`
     for the *profiles* parameter)."""
-    model = JsonReader(packages, profiles).read(text)
+    if _trace.ON:
+        with _trace.span("xmi.read", format="json") as sp:
+            model = JsonReader(packages, profiles).read(text)
+        _observe_io(sp, "xmi.read", "json", model, len(text))
+    else:
+        model = JsonReader(packages, profiles).read(text)
     if repository is not None:
         repository.add_model(model)
     return model

@@ -21,7 +21,8 @@ from ..mof.kernel import (
     Reference,
 )
 from ..mof.repository import Model, Repository
-from .writer import DOC_TAG, ITEM_TAG, ROOT_TAG, STEREOTYPE_TAG
+from ..obs import trace as _trace
+from .writer import DOC_TAG, ITEM_TAG, ROOT_TAG, STEREOTYPE_TAG, _observe_io
 
 
 class TypeRegistry:
@@ -175,7 +176,12 @@ def read_xml(text: str, packages: Iterable[MetaPackage], *,
     applications it may carry (e.g. ``[SPT]``).  If *repository* is
     given, the model is registered.
     """
-    model = XmiReader(packages, profiles).read(text)
+    if _trace.ON:
+        with _trace.span("xmi.read", format="xml") as sp:
+            model = XmiReader(packages, profiles).read(text)
+        _observe_io(sp, "xmi.read", "xml", model, len(text))
+    else:
+        model = XmiReader(packages, profiles).read(text)
     if repository is not None:
         repository.add_model(model)
     return model

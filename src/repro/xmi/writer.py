@@ -22,12 +22,33 @@ from typing import Dict, Iterable, List, Optional, Union
 
 from ..mof.kernel import Attribute, Element, Feature, Reference
 from ..mof.repository import Model
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .ids import assign_ids
 
 DOC_TAG = "xmi"
 ROOT_TAG = "root"
 ITEM_TAG = "item"
 STEREOTYPE_TAG = "stereotype"
+
+
+def _observe_io(sp, name: str, fmt: str, source, size: int) -> None:
+    """Tag an ``xmi.read``/``xmi.write`` span and bump the element and
+    byte counters.  Only called when the observability layer is on."""
+    if isinstance(source, Model):
+        roots = list(source.roots)
+    elif isinstance(source, Element):
+        roots = [source]
+    else:
+        roots = list(source)
+    elements = sum(1 + sum(1 for _ in root.all_contents()) for root in roots)
+    sp.tag(elements=elements, chars=size)
+    _metrics.REGISTRY.counter(
+        name + ".elements", help="model elements (de)serialized",
+        format=fmt).inc(elements)
+    _metrics.REGISTRY.counter(
+        name + ".chars", help="document size in characters",
+        format=fmt).inc(size)
 
 
 def _should_serialize(feature: Feature) -> bool:
@@ -154,9 +175,19 @@ def _indent(node: ET.Element, level: int = 0) -> None:
 def write_xml(source: Union[Model, Element, Iterable[Element]], *,
               uri: str = "urn:model", name: str = "model") -> str:
     """Serialize a model, a single root, or several roots to XML text."""
-    writer = XmiWriter()
-    if isinstance(source, Model):
-        return writer.write_model(source)
-    if isinstance(source, Element):
-        return writer.write_roots([source], uri=uri, name=name)
-    return writer.write_roots(source, uri=uri, name=name)
+    def _write() -> str:
+        writer = XmiWriter()
+        if isinstance(source, Model):
+            return writer.write_model(source)
+        if isinstance(source, Element):
+            return writer.write_roots([source], uri=uri, name=name)
+        return writer.write_roots(source, uri=uri, name=name)
+
+    if _trace.ON:
+        if not isinstance(source, (Model, Element)):
+            source = list(source)        # may be a one-shot iterable
+        with _trace.span("xmi.write", format="xml") as sp:
+            text = _write()
+        _observe_io(sp, "xmi.write", "xml", source, len(text))
+        return text
+    return _write()

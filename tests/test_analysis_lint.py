@@ -17,7 +17,6 @@ from repro.analysis import (
     Severity,
     guard_unsatisfiable,
     guards_overlap,
-    lint_model,
     lint_transformation,
 )
 from repro.transform import Transformation
@@ -57,7 +56,7 @@ class TestStateMachineRules:
         alive = region.add_state("Alive")
         region.add_state("Limbo")                 # never targeted
         region.add_transition(initial, alive)
-        report = lint_model(factory.model)
+        report = ModelLinter().lint(factory.model)
         assert "SM001" in codes(report)
         (diag,) = [d for d in report.diagnostics if d.code == "SM001"]
         assert "Limbo" in diag.message
@@ -73,7 +72,7 @@ class TestStateMachineRules:
         region.add_transition(initial, a)
         region.add_transition(a, b, trigger="go",
                               guard="balance > 2 and balance < 1")
-        assert "SM002" in codes(lint_model(factory.model))
+        assert "SM002" in codes(ModelLinter().lint(factory.model))
 
     def test_overlapping_guards_flagged_sm003(self):
         factory, cls = make_class()
@@ -84,7 +83,7 @@ class TestStateMachineRules:
         region.add_transition(initial, a)
         region.add_transition(a, b, trigger="go", guard="balance >= 100")
         region.add_transition(a, a, trigger="go", guard="balance >= 50")
-        report = lint_model(factory.model)
+        report = ModelLinter().lint(factory.model)
         assert "SM003" in codes(report)
 
     def test_disjoint_guards_not_flagged(self):
@@ -96,7 +95,7 @@ class TestStateMachineRules:
         region.add_transition(initial, a)
         region.add_transition(a, b, trigger="go", guard="balance >= 100")
         region.add_transition(a, a, trigger="go", guard="balance < 100")
-        assert "SM003" not in codes(lint_model(factory.model))
+        assert "SM003" not in codes(ModelLinter().lint(factory.model))
 
     def test_different_triggers_not_flagged(self):
         factory, cls = make_class()
@@ -106,7 +105,7 @@ class TestStateMachineRules:
         region.add_transition(initial, a)
         region.add_transition(a, a, trigger="tick")
         region.add_transition(a, a, trigger="tock")
-        assert "SM003" not in codes(lint_model(factory.model))
+        assert "SM003" not in codes(ModelLinter().lint(factory.model))
 
     def test_guard_typo_flagged_with_suggestion(self):
         factory, cls = make_class()
@@ -115,7 +114,7 @@ class TestStateMachineRules:
         a = region.add_state("A")
         region.add_transition(initial, a)
         region.add_transition(a, a, trigger="go", guard="balanc > 3")
-        report = lint_model(factory.model)
+        report = ModelLinter().lint(factory.model)
         assert "OCL001" in codes(report)
         (diag,) = [d for d in report.diagnostics if d.code == "OCL001"]
         assert "balance" in diag.hint
@@ -128,7 +127,7 @@ class TestStateMachineRules:
         region.add_transition(initial, a)
         region.add_transition(a, a, trigger="shift", guard="gear < 5",
                               effect="gear := gear + 1")
-        assert lint_model(factory.model).ok
+        assert ModelLinter().lint(factory.model).ok
 
     def test_guard_prover_primitives(self):
         assert guards_overlap("x >= 100", "x >= 50") is True
@@ -166,7 +165,7 @@ class TestActivityRules:
         act.flow(first, join)
         act.flow(second, join)
         act.flow(join, final)
-        report = lint_model(factory.model)
+        report = ModelLinter().lint(factory.model)
         assert "ACT001" in codes(report)
 
     def test_balanced_fork_join_clean(self):
@@ -184,7 +183,7 @@ class TestActivityRules:
         act.flow(a, join)
         act.flow(b, join)
         act.flow(join, final)
-        assert lint_model(factory.model).ok
+        assert ModelLinter().lint(factory.model).ok
 
     def test_fork_overfeeding_join_act002(self):
         factory, cls = make_class()
@@ -203,7 +202,7 @@ class TestActivityRules:
         act.flow(b, join)
         act.flow(c, b)             # third branch converges into b's path
         act.add_final()
-        report = lint_model(factory.model)
+        report = ModelLinter().lint(factory.model)
         assert "ACT002" in codes(report)
 
     def test_degenerate_fork_act003(self):
@@ -216,7 +215,7 @@ class TestActivityRules:
         act.flow(initial, fork)
         act.flow(fork, a)
         act.flow(a, final)
-        assert "ACT003" in codes(lint_model(factory.model))
+        assert "ACT003" in codes(ModelLinter().lint(factory.model))
 
 
 # ---------------------------------------------------------------------------
@@ -360,11 +359,11 @@ class TestCleanExamples:
         module = _load_example(name)
         built = getattr(module, builder)()
         factory = built[0] if isinstance(built, tuple) else built
-        report = lint_model(factory.model)
+        report = ModelLinter().lint(factory.model)
         assert report.ok, report.render()
 
     def test_cruise_fixture_lints_clean(self, cruise_model):
-        report = lint_model(cruise_model.model)
+        report = ModelLinter().lint(cruise_model.model)
         assert report.ok, report.render()
         assert report.elements_scanned > 0
         assert report.rules_run > 0
@@ -377,8 +376,8 @@ class TestCleanExamples:
 
 class TestIntegrations:
     def test_quality_report_has_lint_section(self, cruise_model):
-        from repro.validation import quality_report
-        report = quality_report(cruise_model.model)
+        from repro.validation import build_quality_report
+        report = build_quality_report(cruise_model.model)
         section = report.section("static analysis (lint)")
         assert section.passed
 
@@ -422,6 +421,6 @@ class TestIntegrations:
         alive = region.add_state("Alive")
         region.add_state("Limbo")
         region.add_transition(initial, alive)
-        adapted = lint_model(factory.model).as_validation_report()
+        adapted = ModelLinter().lint(factory.model).as_validation_report()
         assert not adapted.ok
         assert any(d.code == "SM001" for d in adapted.errors)

@@ -249,3 +249,103 @@ class TestTestgen:
 
     def test_no_match(self, model_file):
         assert main(["testgen", model_file, "--class", "Nope"]) == 1
+
+
+class TestSharedDiagnosticContract:
+    def test_validate_json_format(self, model_file, capsys):
+        import json
+        assert main(["validate", model_file, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True
+        assert set(doc["families"]) == {"structural", "invariant",
+                                        "wellformed"}
+
+    def test_lint_json_format(self, model_file, capsys):
+        import json
+        assert main(["lint", model_file, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["errors"] == 0 and list(doc["families"]) == ["lint"]
+
+    def test_severity_floor_filters_warnings(self, factory, tmp_path,
+                                             capsys):
+        import json
+        from repro.uml import Clazz
+        factory.model.add(Clazz())          # unnamed -> uml-name warning
+        path = tmp_path / "warny.xmi"
+        model = Model("urn:w", "w")
+        model.add_root(factory.model)
+        path.write_text(write_xml(model))
+        assert main(["validate", str(path), "--format", "json"]) == 0
+        with_warnings = json.loads(capsys.readouterr().out)
+        assert with_warnings["warnings"] > 0
+        assert main(["validate", str(path), "--format", "json",
+                     "--severity", "error"]) == 0
+        errors_only = json.loads(capsys.readouterr().out)
+        assert errors_only["warnings"] == 0
+
+    def test_trace_writes_jsonl(self, model_file, tmp_path, capsys):
+        import json
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["validate", model_file,
+                     "--trace", str(trace_path)]) == 0
+        records = [json.loads(line) for line in
+                   trace_path.read_text().splitlines()]
+        names = {record["name"] for record in records}
+        assert "cli.validate" in names and "xmi.read" in names
+        assert any(record["parent"] is None for record in records)
+        from repro.obs import is_enabled
+        assert not is_enabled()             # main() tore tracing down
+
+
+class TestProfile:
+    def test_profile_prints_span_tree_and_table(self, model_file, capsys):
+        assert main(["profile", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "cli.profile" in out
+        assert "session.check" in out       # validate stage
+        assert "transform.run" in out       # transform stage
+        assert "codegen.lower" in out       # generate stage
+        assert "self ms" in out and "span(s) recorded" in out
+
+    def test_profile_pipeline_subset(self, model_file, capsys):
+        assert main(["profile", model_file, "--pipeline", "lint"]) == 0
+        out = capsys.readouterr().out
+        assert "session.check.lint" in out
+        assert "transform.run" not in out
+
+    def test_profile_unknown_stage(self, model_file, capsys):
+        assert main(["profile", model_file, "--pipeline", "nope"]) == 2
+        assert "unknown pipeline stage" in capsys.readouterr().err
+
+    def test_profile_leaves_tracing_off(self, model_file, capsys):
+        from repro.obs import is_enabled
+        assert main(["profile", model_file]) == 0
+        assert not is_enabled()
+
+
+class TestStats:
+    def test_stats_prometheus(self, model_file, capsys):
+        from repro.obs import REGISTRY
+        REGISTRY.reset()
+        assert main(["stats", model_file]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_mof_reads_total counter" in out
+        assert "repro_session_checks_total" in out
+        REGISTRY.reset()
+
+    def test_stats_json(self, model_file, capsys):
+        import json
+        from repro.obs import REGISTRY
+        REGISTRY.reset()
+        assert main(["stats", model_file, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "mof.reads" in doc
+        REGISTRY.reset()
+
+    def test_stats_without_model_prints_current_registry(self, capsys):
+        from repro.obs import REGISTRY
+        REGISTRY.reset()
+        REGISTRY.counter("adhoc.counter", help="x").inc(3)
+        assert main(["stats"]) == 0
+        assert "repro_adhoc_counter_total 3" in capsys.readouterr().out
+        REGISTRY.reset()

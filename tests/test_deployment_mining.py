@@ -12,7 +12,7 @@ from repro.uml import (
     ExecutionNode,
     Interface,
     UseCase,
-    check_model,
+    run_wellformed_rules,
 )
 from repro.validation import (
     Scenario,
@@ -89,7 +89,7 @@ class TestInteractionMining:
         interaction = interaction_from_trace(collab)
         cruise_model.model.add(interaction)
         assert not interaction.floating_lifelines()
-        report = check_model(cruise_model.model)
+        report = run_wellformed_rules(cruise_model.model)
         assert report.ok, str(report)
         assert interaction.message_names() == ["apply"]
         assert interaction.lifeline("ctl").represents.name == \

@@ -11,7 +11,7 @@ import pytest
 from repro.mof import validate_tree
 from repro.platforms import PIM_TO_PSM
 from repro.transform import check_refinement
-from repro.uml import Clazz, check_model
+from repro.uml import Clazz, run_wellformed_rules
 from repro.validation import Scenario, check_collaboration
 
 ENGAGE_SCENARIO = Scenario(
@@ -87,7 +87,7 @@ class TestStructuralFaults:
         machine = controller.state_machine()
         transition = machine.all_transitions()[1]
         transition.source = None
-        report = check_model(cruise_model.model)
+        report = run_wellformed_rules(cruise_model.model)
         assert any(d.code == "uml-sm-dangling" for d in report.errors)
 
     def test_lost_class_caught_by_refinement(self, cruise_model, posix):
@@ -114,6 +114,6 @@ class TestEverySafetyNetIsIndependent:
         engage.delete()          # behavioural fault
         # structure and well-formedness cannot see it
         assert validate_tree(cruise_model.model).ok
-        assert check_model(cruise_model.model).ok
+        assert run_wellformed_rules(cruise_model.model).ok
         # only the scenario does
         assert not ENGAGE_SCENARIO.run(cruise_collaboration()).passed

@@ -22,7 +22,7 @@ from modelgen import EditFuzzer, demo_generator, uml_generator
 from repro.analysis import LintConfig, ModelLinter
 from repro.incremental import IncrementalEngine, report_signature
 from repro.mof.validate import validate_tree
-from repro.uml.wellformed import check_model
+from repro.uml.wellformed import run_wellformed_rules
 
 DEMO_PAIRS = 120
 UML_PAIRS = 80
@@ -76,7 +76,7 @@ def test_uml_metamodel_pair(seed):
 
     def oracle():
         return (report_signature(validate_tree(root))
-                + report_signature(check_model(root))
+                + report_signature(run_wellformed_rules(root))
                 + report_signature(linter.lint(root)))
 
     fuzzer = EditFuzzer(root, seed=seed + 20_000, generator=generator)

@@ -21,7 +21,7 @@ from repro.platforms import make_pim_to_psm
 from repro.profiles import SA_SCHEDULABLE, TestContext, Verdict, \
     analyze_model
 from repro.transform import check_refinement
-from repro.uml import Clazz, UML, check_model
+from repro.uml import Clazz, UML, run_wellformed_rules
 from repro.validation import Scenario, check_collaboration
 from repro.xmi import read_xml, write_xml
 
@@ -31,7 +31,7 @@ def test_full_pipeline(cruise_model, cruise_collaboration, posix):
 
     # 1. PIM-level tests: structure, well-formedness, purity
     assert validate_tree(model).ok
-    assert check_model(model).ok
+    assert run_wellformed_rules(model).ok
     assert check_domain_purity(model, [posix]).clean
 
     # 2. Use cases as tests: scenario conformance via simulation

@@ -10,7 +10,7 @@ from repro.mof import (
     Severity,
     Model,
     validate_element,
-    validate_model,
+    validate_invariants,
     validate_tree,
 )
 from kernel_fixture import TBook, TLibrary
@@ -49,7 +49,9 @@ class TestMultiplicityValidation:
         lib, *_ = library
         model = Model("urn:v")
         model.add_root(lib)
-        assert validate_model(model).ok
+        report = validate_tree(model.roots[0])
+        report.extend(validate_invariants(model.roots[0]))
+        assert report.ok
 
 
 class TestOppositeIntegrity:

@@ -70,7 +70,7 @@ class TestConstraintSet:
         constraints = ConstraintSet("L0")
         constraints.add(Clazz, "has-x-or-y",
                         "owned_attributes->notEmpty()")
-        report = constraints.check(model.model)
+        report = constraints.evaluate(model.model)
         assert report.ok
         assert not Clazz._meta.invariants     # unregistered by design
 
@@ -78,14 +78,14 @@ class TestConstraintSet:
         constraints = ConstraintSet("L0")
         constraints.add(Clazz, "x-attr",
                         "owned_attributes->exists(p | p.name = 'x')")
-        report = constraints.check(model.model)
+        report = constraints.evaluate(model.model)
         # 'AlsoGood' has y, not x
         assert len(report.errors) == 1
 
     def test_broken_expression_reported_not_raised(self, model):
         constraints = ConstraintSet("L0")
         constraints.add(Clazz, "broken", "no_such_feature > 1")
-        report = constraints.check(model.model)
+        report = constraints.evaluate(model.model)
         assert any(d.code == "invariant-error" for d in report.errors)
 
     def test_register_all(self, model):
@@ -103,7 +103,7 @@ class TestConstraintSet:
         constraints = ConstraintSet("L0")
         constraints.add(Property, "typed", "type <> null")
         good = model.model.member("Good")
-        report = constraints.check(good)
+        report = constraints.evaluate(good)
         assert report.ok
 
     def test_len(self):

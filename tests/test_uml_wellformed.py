@@ -9,7 +9,7 @@ from repro.uml import (
     Interaction,
     StateMachine,
     UseCase,
-    check_model,
+    run_wellformed_rules,
 )
 from repro.uml.wellformed import (
     rule_lifelines_represent_classifiers,
@@ -30,13 +30,13 @@ class TestNamespaceRules:
     def test_duplicate_names_flagged(self, factory):
         factory.clazz("X")
         factory.clazz("X")
-        report = check_model(factory.model,
+        report = run_wellformed_rules(factory.model,
                              rules=[rule_unique_member_names])
         assert "uml-unique-name" in codes(report)
 
     def test_unnamed_element_warned(self, factory):
         factory.clazz("")
-        report = check_model(factory.model,
+        report = run_wellformed_rules(factory.model,
                              rules=[rule_unique_member_names])
         assert "uml-name" in codes(report)
 
@@ -46,7 +46,7 @@ class TestGeneralizationRules:
         a = factory.clazz("A")
         b = factory.clazz("B", supers=[a])
         a.add_super(b)
-        report = check_model(factory.model,
+        report = run_wellformed_rules(factory.model,
                              rules=[rule_no_generalization_cycles])
         assert "uml-gen-cycle" in codes(report)
 
@@ -56,7 +56,7 @@ class TestInteractionRules:
         interaction = Interaction(name="ix")
         factory.model.add(interaction)
         interaction.add_lifeline("ghost")           # represents nothing
-        report = check_model(factory.model,
+        report = run_wellformed_rules(factory.model,
                              rules=[rule_lifelines_represent_classifiers])
         assert "uml-floating-lifeline" in codes(report)
 
@@ -69,7 +69,7 @@ class TestInteractionRules:
         dst = interaction.add_lifeline("b", cls)
         interaction.add_message(src, dst, "ping")      # fine: operation
         interaction.add_message(src, dst, "warp")      # unknown
-        report = check_model(factory.model,
+        report = run_wellformed_rules(factory.model,
                              rules=[rule_messages_match_operations])
         offenders = [d for d in report.diagnostics
                      if d.code == "uml-msg-unknown"]
@@ -89,7 +89,7 @@ class TestInteractionRules:
         src = interaction.add_lifeline("a", cls)
         dst = interaction.add_lifeline("b", cls)
         interaction.add_message(src, dst, "poke")
-        report = check_model(factory.model,
+        report = run_wellformed_rules(factory.model,
                              rules=[rule_messages_match_operations])
         assert "uml-msg-unknown" not in codes(report)
 
@@ -99,7 +99,7 @@ class TestStateMachineRules:
         machine = StateMachine(name="sm")
         factory.model.add(machine)
         machine.main_region().add_state("S")
-        report = check_model(factory.model,
+        report = run_wellformed_rules(factory.model,
                              rules=[rule_statemachine_initial])
         assert "uml-sm-initial" in codes(report)
 
@@ -112,7 +112,7 @@ class TestStateMachineRules:
         b = region.add_state("B")
         region.add_transition(initial, a)
         region.add_transition(initial, b)
-        report = check_model(factory.model,
+        report = run_wellformed_rules(factory.model,
                              rules=[rule_statemachine_initial])
         assert "uml-sm-initial-out" in codes(report)
 
@@ -126,7 +126,7 @@ class TestStateMachineRules:
         region.add_transition(initial, a)
         region.add_transition(a, final)
         region.add_transition(final, a)     # illegal
-        report = check_model(factory.model,
+        report = run_wellformed_rules(factory.model,
                              rules=[rule_transitions_local])
         assert "uml-sm-final-out" in codes(report)
 
@@ -136,7 +136,7 @@ class TestStateMachineRules:
         region = machine.main_region()
         from repro.uml import Transition
         region.transitions.append(Transition(name="t"))
-        report = check_model(factory.model,
+        report = run_wellformed_rules(factory.model,
                              rules=[rule_transitions_local])
         assert "uml-sm-dangling" in codes(report)
 
@@ -145,7 +145,7 @@ class TestUseCaseRules:
     def test_untestable_usecase_warned(self, factory):
         usecase = UseCase(name="DoThing")
         factory.model.add(usecase)
-        report = check_model(factory.model, rules=[rule_usecases_testable])
+        report = run_wellformed_rules(factory.model, rules=[rule_usecases_testable])
         assert "uml-uc-untestable" in codes(report)
         assert all(d.severity is Severity.WARNING
                    for d in report.diagnostics)
@@ -156,7 +156,7 @@ class TestUseCaseRules:
         factory.model.add(usecase)
         factory.model.add(interaction)
         usecase.scenarios.append(interaction)
-        report = check_model(factory.model, rules=[rule_usecases_testable])
+        report = run_wellformed_rules(factory.model, rules=[rule_usecases_testable])
         assert report.ok and not report.warnings
 
     def test_include_cycle_detected(self, factory):
@@ -166,7 +166,7 @@ class TestUseCaseRules:
         factory.model.add(b)
         a.includes.append(b)
         b.includes.append(a)
-        report = check_model(factory.model, rules=[rule_usecases_testable])
+        report = run_wellformed_rules(factory.model, rules=[rule_usecases_testable])
         assert "uml-uc-cycle" in codes(report)
 
     def test_all_included_transitive(self, factory):
@@ -179,7 +179,7 @@ class TestUseCaseRules:
 
 
 def test_well_formed_model_passes_everything(cruise_model):
-    report = check_model(cruise_model.model)
+    report = run_wellformed_rules(cruise_model.model)
     assert report.ok, str(report)
 
 
@@ -194,7 +194,7 @@ class TestUnsupportedPseudostates:
         state = region.add_state("S")
         region.subvertices.append(
             Pseudostate(name="h", kind="deepHistory"))
-        report = check_model(factory.model,
+        report = run_wellformed_rules(factory.model,
                              rules=[rule_supported_pseudostates])
         assert any(d.code == "uml-sm-unsupported-kind"
                    for d in report.warnings)
@@ -207,6 +207,6 @@ class TestUnsupportedPseudostates:
         region = machine.main_region()
         region.add_initial()
         region.add_choice("c")
-        report = check_model(factory.model,
+        report = run_wellformed_rules(factory.model,
                              rules=[rule_supported_pseudostates])
         assert report.ok and not report.warnings

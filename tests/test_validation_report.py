@@ -3,12 +3,12 @@
 import pytest
 
 from repro.profiles import add_requirement, satisfy, verify
-from repro.validation import quality_report
+from repro.validation import build_quality_report
 
 
 class TestQualityReport:
     def test_clean_model_passes(self, cruise_model, posix):
-        report = quality_report(cruise_model.model, platforms=[posix])
+        report = build_quality_report(cruise_model.model, platforms=[posix])
         assert report.passed
         text = report.render()
         assert "overall: PASS" in text
@@ -18,7 +18,7 @@ class TestQualityReport:
     def test_wellformedness_failure_shows(self, factory):
         factory.clazz("Dup")
         factory.clazz("Dup")
-        report = quality_report(factory.model)
+        report = build_quality_report(factory.model)
         assert not report.passed
         assert not report.section("uml well-formedness").passed
         assert "FAIL" in report.render()
@@ -28,29 +28,29 @@ class TestQualityReport:
         b = factory.clazz("B")
         factory.associate(a, b, end_b="b")
         factory.associate(b, a, end_a="x", end_b="a")
-        report = quality_report(factory.model, max_coupling_density=0.1)
+        report = build_quality_report(factory.model, max_coupling_density=0.1)
         assert not report.section("design metrics").passed
 
     def test_pollution_failure(self, factory, posix):
         factory.clazz("Worker_thread")
-        report = quality_report(factory.model, platforms=[posix])
+        report = build_quality_report(factory.model, platforms=[posix])
         assert not report.section("domain purity").passed
 
     def test_traceability_section(self, factory):
         pkg = factory.package("reqs")
         requirement = add_requirement(pkg, "R", "R1", "do the thing")
         impl = factory.clazz("Impl")
-        report = quality_report(factory.model,
+        report = build_quality_report(factory.model,
                                 include_traceability=True)
         section = report.section("requirement traceability")
         assert not section.passed              # nothing satisfies R1
         satisfy(pkg, impl, requirement)
         verify(pkg, impl, requirement)
-        report2 = quality_report(factory.model,
+        report2 = build_quality_report(factory.model,
                                  include_traceability=True)
         assert report2.section("requirement traceability").passed
 
     def test_unknown_section_raises(self, cruise_model):
-        report = quality_report(cruise_model.model)
+        report = build_quality_report(cruise_model.model)
         with pytest.raises(KeyError):
             report.section("nonexistent")
