@@ -22,8 +22,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..ocl.ast import BinOp, Ident, Literal, Nav, Node, SelfExpr, UnOp
+from ..ocl.compile import parse_cached
 from ..ocl.errors import OclError
-from ..ocl.parser import parse
 from ..uml.statemachines import (
     Pseudostate,
     Region,
@@ -70,7 +70,7 @@ def guard_constraints(guard: str) -> Optional[Dict[str, List[Atom]]]:
     if not text:
         return {}
     try:
-        ast = parse(text)
+        ast = parse_cached(text)
     except OclError:
         return None
     store: Dict[str, List[Atom]] = {}

@@ -485,6 +485,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 def cmd_stats(args: argparse.Namespace) -> int:
     from . import obs
+    from .ocl.compile import cache_stats
 
     if args.model:
         stages = _parse_stages(args.pipeline)
@@ -496,6 +497,11 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 _run_pipeline(args, stages)
         finally:
             obs.disable()
+    for stat, value in cache_stats().items():
+        obs.REGISTRY.gauge(
+            "ocl.compile.cache.state",
+            help="OCL parse/compile cache sizes and hit/miss totals",
+            stat=stat).set(value)
     if args.format == "prom":
         print(obs.REGISTRY.render_prometheus())
     else:

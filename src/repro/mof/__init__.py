@@ -48,6 +48,7 @@ from .kernel import (
     set_read_hook,
     set_write_hook,
 )
+from .index import IndexDivergence, ModelIndex
 from .notify import ChangeKind, ChangeRecorder, Notification, set_notify_hook
 from .query import (
     all_contents,
@@ -91,9 +92,11 @@ __all__ = [
     "set_notify_hook",
     "DiffKind", "DiffResult", "Difference", "compare", "ChangeKind", "ChangeRecorder", "ClassBuilder",
     "CompositionError", "Diagnostic", "DynamicElement", "Element",
-    "Feature", "FeatureList", "FrozenElementError", "M_01", "M_0N",
+    "Feature", "FeatureList", "FrozenElementError", "IndexDivergence",
+    "M_01", "M_0N",
     "M_11", "M_1N", "MBoolean", "MInteger", "MReal", "MString",
     "MetaClass", "MetaEnum", "MetaPackage", "MetamodelError", "Model",
+    "ModelIndex",
     "MofError", "Multiplicity", "MultiplicityError", "Notification",
     "PackageBuilder", "PrimitiveType", "Reference", "Repository",
     "RepositoryError", "Severity", "TypeConformanceError", "UNBOUNDED",

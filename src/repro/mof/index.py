@@ -1,0 +1,247 @@
+"""Incrementally maintained per-model element indexes.
+
+``Model.instances_of``, ``Repository.all_instances`` and
+``Repository.resolve`` historically scanned the whole containment forest
+per call — O(model) for answers that are usually tiny.  A
+:class:`ModelIndex` turns them into O(answer) dictionary lookups:
+
+* a **metaclass extent** index: exact metaclass → (insertion-ordered)
+  elements, with conforming queries concatenating the extents of the
+  metaclass and its transitive subclasses;
+* an **eid** index for ``uri#eid`` reference resolution.
+
+Staleness protocol — how the index stays honest against the live model:
+
+* **Containment notifications.**  Every mutation that moves an element
+  in or out of a model's containment forest emits (at least) one
+  notification *on the containment side* (``feature.containment`` true;
+  see ``kernel._link``/``_unlink``), and that side is always still
+  attached to the model, so the notification reaches
+  :meth:`Model._element_changed` and therefore the index's observer.
+  The index reacts **only** to containment-feature notifications
+  (ADD/SET attach a subtree, REMOVE/UNSET detach one; MOVE is a
+  reordering and leaves membership alone); the mirror notification on
+  the opposite (child) side is deliberately ignored so a move is never
+  double-handled.
+* **Root hooks.**  ``Model.add_root``/``remove_root`` bypass the
+  notification machinery (no feature is involved), so :class:`Model`
+  calls :meth:`ModelIndex.root_added`/:meth:`root_removed` directly.
+* **Lazy eids.**  ``Element.eid`` assigns ids lazily and ``set_eid``
+  rebinds them, both silently — so :meth:`resolve_eid` cross-checks the
+  hit (same eid, still indexed) and falls back to a repairing scan on a
+  miss.  Extent membership has no such silent channel.
+* **Read-hook gating.**  While a dependency-tracking read hook is
+  installed (``kernel._READ_HOOK``), the incremental engine derives
+  invalidation sets from per-element reads; answering from the index
+  would hide those reads, so all fast paths defer to the legacy scans
+  whenever a hook is active.
+
+``REPRO_INDEX_VERIFY=1`` cross-checks every indexed answer against the
+scan it replaced (the equivalence oracle the property tests use).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from .kernel import Element, MetaClass
+from .notify import ChangeKind, Notification
+
+if TYPE_CHECKING:                                   # pragma: no cover
+    from .repository import Model
+
+#: When "1", every indexed query re-runs the scan it replaced and raises
+#: IndexDivergence on any mismatch.
+VERIFY_ENV = "REPRO_INDEX_VERIFY"
+
+
+class IndexDivergence(AssertionError):
+    """An indexed answer disagreed with the containment-scan oracle."""
+
+
+class ModelIndex:
+    """Metaclass-extent and eid indexes over one :class:`Model`.
+
+    Built lazily by ``Model.index()`` from a full scan, then maintained
+    incrementally from change notifications (see the module docstring
+    for the staleness protocol).
+    """
+
+    def __init__(self, model: "Model"):
+        self.model = model
+        # exact metaclass -> {id(element): element}; dicts keep insertion
+        # order, which is the extent order queries report.
+        self._extent: Dict[MetaClass, Dict[int, Element]] = {}
+        self._ids: Dict[int, Element] = {}
+        self._eids: Dict[str, Element] = {}
+        self.hits = 0
+        self.eid_scans = 0
+        self.rebuilds = 0
+        model.observe(self._on_change)
+        self.rebuild()
+
+    # -- bulk (re)construction -------------------------------------------
+
+    def rebuild(self) -> None:
+        """Rebuild from a full scan of the model's containment forest."""
+        self._extent.clear()
+        self._ids.clear()
+        self._eids.clear()
+        for root in self.model.roots:
+            self._add_tree(root)
+        self.rebuilds += 1
+
+    # -- single-element maintenance --------------------------------------
+
+    def _add_one(self, element: Element) -> None:
+        key = id(element)
+        if key in self._ids:
+            return
+        self._ids[key] = element
+        self._extent.setdefault(element.meta, {})[key] = element
+        eid = element._eid
+        if eid is not None:
+            self._eids[eid] = element
+
+    def _remove_one(self, element: Element) -> None:
+        key = id(element)
+        if self._ids.pop(key, None) is None:
+            return
+        bucket = self._extent.get(element.meta)
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                del self._extent[element.meta]
+        eid = element._eid
+        if eid is not None and self._eids.get(eid) is element:
+            del self._eids[eid]
+
+    def _add_tree(self, element: Element) -> None:
+        self._add_one(element)
+        for child in element.all_contents():
+            self._add_one(child)
+
+    def _remove_tree(self, element: Element) -> None:
+        self._remove_one(element)
+        for child in element.all_contents():
+            self._remove_one(child)
+
+    # -- change intake ----------------------------------------------------
+
+    def _on_change(self, notification: Notification) -> None:
+        # Only the containment side decides membership; the opposite-side
+        # mirror notification for the same mutation is ignored.
+        if not getattr(notification.feature, "containment", False):
+            return
+        kind = notification.kind
+        if kind is ChangeKind.ADD or kind is ChangeKind.SET:
+            if isinstance(notification.new, Element):
+                self._add_tree(notification.new)
+        elif kind is ChangeKind.REMOVE or kind is ChangeKind.UNSET:
+            if isinstance(notification.old, Element):
+                self._remove_tree(notification.old)
+        # MOVE repositions within a feature: membership unchanged.
+
+    def root_added(self, root: Element) -> None:
+        self._add_tree(root)
+
+    def root_removed(self, root: Element) -> None:
+        self._remove_tree(root)
+
+    # -- queries ----------------------------------------------------------
+
+    def instances_of(self, metaclass: MetaClass,
+                     exact: bool = False) -> List[Element]:
+        """All (conforming or exactly typed) instances, O(answer)."""
+        out: List[Element] = []
+        bucket = self._extent.get(metaclass)
+        if bucket:
+            out.extend(bucket.values())
+        if not exact:
+            for sub in metaclass.all_subclasses():
+                bucket = self._extent.get(sub)
+                if bucket:
+                    out.extend(bucket.values())
+        self.hits += 1
+        if os.environ.get(VERIFY_ENV) == "1":
+            self._verify_instances(metaclass, exact, out)
+        return out
+
+    def resolve_eid(self, eid: str) -> Optional[Element]:
+        """The model's element with ``_eid == eid``, or None.
+
+        An index hit is cross-checked (eids can be rebound via
+        ``set_eid``); on a miss the containment scan runs once and
+        repairs the entry (eids are assigned lazily, without any
+        notification).
+        """
+        element = self._eids.get(eid)
+        if element is not None and element._eid == eid \
+                and id(element) in self._ids:
+            self.hits += 1
+            return element
+        self.eid_scans += 1
+        for candidate in self.model.all_elements():
+            if candidate._eid == eid:
+                self._eids[eid] = candidate
+                return candidate
+        if element is not None:
+            # stale entry (rebound or removed): drop it
+            self._eids.pop(eid, None)
+        return None
+
+    # -- equivalence cross-check ------------------------------------------
+
+    def _verify_instances(self, metaclass: MetaClass, exact: bool,
+                          answer: List[Element]) -> None:
+        if exact:
+            expected = [e for e in self.model.all_elements()
+                        if e.meta is metaclass]
+        else:
+            expected = [e for e in self.model.all_elements()
+                        if e.meta.conforms_to(metaclass)]
+        if sorted(map(id, answer)) != sorted(map(id, expected)):
+            raise IndexDivergence(
+                f"instances_of({metaclass.name}, exact={exact}) diverged: "
+                f"index returned {len(answer)} element(s), "
+                f"scan found {len(expected)}")
+
+    def verify(self) -> List[str]:
+        """Compare against a full scan; return a list of discrepancies."""
+        problems: List[str] = []
+        scanned: Dict[int, Element] = {}
+        for element in self.model.all_elements():
+            scanned[id(element)] = element
+        for key, element in scanned.items():
+            if key not in self._ids:
+                problems.append(f"missing from index: {element!r}")
+        for key, element in self._ids.items():
+            if key not in scanned:
+                problems.append(f"stale in index: {element!r}")
+        for metaclass, bucket in self._extent.items():
+            for element in bucket.values():
+                if element.meta is not metaclass:
+                    problems.append(
+                        f"{element!r} filed under {metaclass.name}, "
+                        f"typed {element.meta.name}")
+        for eid, element in self._eids.items():
+            if element._eid != eid:
+                problems.append(
+                    f"eid entry {eid!r} points at element with "
+                    f"eid {element._eid!r}")
+        return problems
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "elements": len(self._ids),
+            "metaclasses": len(self._extent),
+            "eids": len(self._eids),
+            "hits": self.hits,
+            "eid_scans": self.eid_scans,
+            "rebuilds": self.rebuilds,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<ModelIndex {self.model.uri} elements={len(self._ids)} "
+                f"metaclasses={len(self._extent)}>")

@@ -423,9 +423,15 @@ class MetaClass:
         self.own_features: Dict[str, Feature] = {}
         self.invariants: List[Any] = []   # populated by repro.ocl.invariants
         self._all_features_cache: Optional[Dict[str, Feature]] = None
+        self._all_superclasses_cache: Optional[List[MetaClass]] = None
+        self._ancestor_ids: Optional[frozenset] = None
+        self._all_subclasses_cache: Optional[List[MetaClass]] = None
         for sup in self.superclasses:
             sup.subclasses.append(self)
             sup._invalidate_cache()
+        # a new subclass extends the extent of every transitive ancestor
+        for ancestor in self.all_superclasses():
+            ancestor._all_subclasses_cache = None
         if package is not None:
             package.register(self)
 
@@ -458,41 +464,51 @@ class MetaClass:
 
     def _invalidate_cache(self) -> None:
         self._all_features_cache = None
+        self._all_superclasses_cache = None
+        self._ancestor_ids = None
+        self._all_subclasses_cache = None
         for sub in self.subclasses:
             sub._invalidate_cache()
 
     def all_superclasses(self) -> List["MetaClass"]:
         """All transitive superclasses, nearest first, without duplicates."""
-        seen: Dict[int, MetaClass] = {}
-        stack = list(self.superclasses)
-        order: List[MetaClass] = []
-        while stack:
-            sup = stack.pop(0)
-            if id(sup) in seen:
-                continue
-            seen[id(sup)] = sup
-            order.append(sup)
-            stack.extend(sup.superclasses)
-        return order
+        if self._all_superclasses_cache is None:
+            seen: Dict[int, MetaClass] = {}
+            stack = list(self.superclasses)
+            order: List[MetaClass] = []
+            while stack:
+                sup = stack.pop(0)
+                if id(sup) in seen:
+                    continue
+                seen[id(sup)] = sup
+                order.append(sup)
+                stack.extend(sup.superclasses)
+            self._all_superclasses_cache = order
+            self._ancestor_ids = frozenset(seen)
+        return list(self._all_superclasses_cache)
 
     def all_subclasses(self) -> List["MetaClass"]:
         """All transitive subclasses (excluding self)."""
-        out: List[MetaClass] = []
-        stack = list(self.subclasses)
-        while stack:
-            sub = stack.pop()
-            if sub in out:
-                continue
-            out.append(sub)
-            stack.extend(sub.subclasses)
-        return out
+        if self._all_subclasses_cache is None:
+            out: List[MetaClass] = []
+            stack = list(self.subclasses)
+            while stack:
+                sub = stack.pop()
+                if sub in out:
+                    continue
+                out.append(sub)
+                stack.extend(sub.subclasses)
+            self._all_subclasses_cache = out
+        return list(self._all_subclasses_cache)
 
     def conforms_to(self, other: "MetaClass") -> bool:
         """True when instances of ``self`` are acceptable where ``other`` is
         expected (reflexive-transitive generalization)."""
         if self is other:
             return True
-        return other in self.all_superclasses()
+        if self._ancestor_ids is None:
+            self.all_superclasses()
+        return id(other) in self._ancestor_ids
 
     def all_features(self) -> Dict[str, Feature]:
         """Every feature, inherited ones first, in declaration order."""

@@ -7,11 +7,15 @@ holds many models and supports the global queries OCL needs
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional
 
+from . import kernel as _kernel
 from .errors import RepositoryError
 from .kernel import Element, MetaClass
 from .notify import Notification
+
+if TYPE_CHECKING:                                   # pragma: no cover
+    from .index import ModelIndex
 
 
 class Model:
@@ -23,6 +27,7 @@ class Model:
         self.roots: List[Element] = []
         self.repository: Optional["Repository"] = None
         self._observers: List[Callable[[Notification], None]] = []
+        self._index: Optional["ModelIndex"] = None
 
     def add_root(self, element: Element) -> Element:
         """Attach a (container-less) element as a root of this model."""
@@ -35,11 +40,24 @@ class Model:
             return element
         self.roots.append(element)
         object.__setattr__(element, "_model", self)
+        # root attachment emits no notification; tell the index directly
+        if self._index is not None:
+            self._index.root_added(element)
         return element
 
     def remove_root(self, element: Element) -> None:
         self.roots.remove(element)
         object.__setattr__(element, "_model", None)
+        if self._index is not None:
+            self._index.root_removed(element)
+
+    def index(self) -> "ModelIndex":
+        """The model's extent/eid index, built lazily on first use and
+        maintained incrementally from change notifications."""
+        if self._index is None:
+            from .index import ModelIndex
+            self._index = ModelIndex(self)
+        return self._index
 
     def all_elements(self) -> Iterator[Element]:
         """Every element in the model: the roots and all their contents."""
@@ -49,7 +67,14 @@ class Model:
 
     def instances_of(self, metaclass: MetaClass,
                      exact: bool = False) -> List[Element]:
-        """All elements conforming to *metaclass* (or exactly typed by it)."""
+        """All elements conforming to *metaclass* (or exactly typed by it).
+
+        Answered O(answer) from the extent index unless a dependency
+        read hook is active (incremental tracking needs to see the
+        per-element reads a scan performs — see :mod:`repro.mof.index`).
+        """
+        if _kernel._READ_HOOK is None:
+            return self.index().instances_of(metaclass, exact=exact)
         if exact:
             return [e for e in self.all_elements() if e.meta is metaclass]
         return [e for e in self.all_elements()
@@ -126,16 +151,26 @@ class Repository:
         return out
 
     def resolve(self, reference: str) -> Element:
-        """Resolve a ``uri#eid`` string to an element."""
+        """Resolve a ``uri#eid`` string to an element.
+
+        Answered from the model's eid index (O(1) when warm, with a
+        staleness cross-check and repairing scan fallback — eids are
+        assigned lazily) unless a dependency read hook is active.
+        """
         if "#" not in reference:
             raise RepositoryError(
                 f"element reference {reference!r} must look like 'uri#eid'"
             )
         uri, eid = reference.split("#", 1)
         model = self.model(uri)
-        for element in model.all_elements():
-            if element._eid == eid:
+        if _kernel._READ_HOOK is None:
+            element = model.index().resolve_eid(eid)
+            if element is not None:
                 return element
+        else:
+            for element in model.all_elements():
+                if element._eid == eid:
+                    return element
         raise RepositoryError(f"no element {eid!r} in model {uri!r}")
 
     def __repr__(self) -> str:

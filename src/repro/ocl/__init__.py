@@ -8,6 +8,13 @@
 """
 
 from .ast import Node
+from .compile import (
+    CompiledExpression,
+    cache_stats,
+    clear_caches,
+    compile_expression,
+    parse_cached,
+)
 from .errors import (
     OclError,
     OclEvaluationError,
@@ -28,9 +35,10 @@ from .typecheck import (
 from .unparse import unparse
 
 __all__ = [
-    "ConstraintSet", "Environment", "Invariant", "Node", "OclError",
-    "OclEvaluationError", "OclEvaluator", "OclSyntaxError", "OclTypeChecker",
-    "OclTypeError", "Token", "TokenKind", "TypeCheckResult", "TypeEnv",
-    "TypeIssue", "evaluate", "invariant", "parse", "tokenize", "typecheck",
-    "unparse",
+    "CompiledExpression", "ConstraintSet", "Environment", "Invariant",
+    "Node", "OclError", "OclEvaluationError", "OclEvaluator",
+    "OclSyntaxError", "OclTypeChecker", "OclTypeError", "Token",
+    "TokenKind", "TypeCheckResult", "TypeEnv", "TypeIssue", "cache_stats",
+    "clear_caches", "compile_expression", "evaluate", "invariant", "parse",
+    "parse_cached", "tokenize", "typecheck", "unparse",
 ]

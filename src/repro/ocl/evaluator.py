@@ -94,10 +94,18 @@ class Environment:
 
     def set_instance_scope_from(
             self, scope: Union[Model, Repository, Element]) -> None:
-        def lookup(metaclass: MetaClass) -> List[Element]:
-            return [e for e in _scope_elements(scope)
-                    if e.meta.conforms_to(metaclass)]
-        self._instance_scope = lookup
+        if isinstance(scope, Repository):
+            # Repository/Model queries go through the incrementally
+            # maintained extent index (repro.mof.index) when no read
+            # hook is active — O(answer) instead of O(model).
+            self._instance_scope = scope.all_instances
+        elif isinstance(scope, Model):
+            self._instance_scope = scope.instances_of
+        else:
+            def lookup(metaclass: MetaClass) -> List[Element]:
+                return [e for e in _scope_elements(scope)
+                        if e.meta.conforms_to(metaclass)]
+            self._instance_scope = lookup
 
     # -- scoping ----------------------------------------------------------
 
@@ -149,7 +157,12 @@ def _scope_elements(scope: Union[Model, Repository, Element]) -> List[Element]:
     raise OclTypeError(f"invalid instance scope {scope!r}")
 
 
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
 def _normalize(value: Any) -> Any:
+    if value.__class__ in _SCALAR_TYPES:
+        return value
     if isinstance(value, FeatureList):
         return list(value)
     if isinstance(value, tuple):
@@ -157,17 +170,22 @@ def _normalize(value: Any) -> Any:
     return value
 
 
+def truthy(value: Any) -> bool:
+    """Boolean interpretation: only True is true; None (OCL undefined)
+    is false, and non-boolean values are a type error."""
+    if value is True:
+        return True
+    if value is False or value is None:
+        return False
+    raise OclTypeError(f"expected Boolean, got {value!r}")
+
+
 class OclEvaluator:
     """Evaluates parsed OCL-like expressions."""
 
     def truthy(self, value: Any) -> bool:
-        """Boolean interpretation: only True is true; None (OCL undefined)
-        is false, and non-boolean values are a type error."""
-        if value is True:
-            return True
-        if value is False or value is None:
-            return False
-        raise OclTypeError(f"expected Boolean, got {value!r}")
+        """See the module-level :func:`truthy` (shared with the compiler)."""
+        return truthy(value)
 
     # -- dispatch ----------------------------------------------------------
 
@@ -470,15 +488,21 @@ _EVALUATOR = OclEvaluator()
 
 
 def evaluate(text_or_node: Union[str, Node],
-             env: Optional[Environment] = None, **bindings: Any) -> Any:
+             env: Optional[Environment] = None, *,
+             compiled: bool = True, **bindings: Any) -> Any:
     """Parse (if needed) and evaluate an expression.
 
     Keyword bindings become variables; ``self=obj`` binds the context
     object.  If no environment is given and ``self`` is a model element, a
     default environment scoped to the element's containment tree is built.
+
+    By default the expression is run through the closure compiler
+    (:mod:`repro.ocl.compile`) with its process-wide parse+compile cache;
+    ``compiled=False`` keeps the tree-walking interpreter — behaviourally
+    identical, retained for differential testing.  (One caveat of the
+    keyword: a *binding* literally named ``compiled`` can no longer be
+    passed through ``**bindings``; build an :class:`Environment` for that.)
     """
-    node = parse(text_or_node) if isinstance(text_or_node, str) \
-        else text_or_node
     if env is None:
         self_object = bindings.get("self")
         if isinstance(self_object, Element):
@@ -488,4 +512,9 @@ def evaluate(text_or_node: Union[str, Node],
             env = Environment()
     for name, value in bindings.items():
         env.define(name, value)
+    if compiled:
+        from .compile import compile_expression
+        return compile_expression(text_or_node)(env)
+    node = parse(text_or_node) if isinstance(text_or_node, str) \
+        else text_or_node
     return _EVALUATOR.eval(node, env)

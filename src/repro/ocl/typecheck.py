@@ -53,6 +53,7 @@ from .ast import (
     TypeRef,
     UnOp,
 )
+from .compile import parse_cached
 from .errors import OclSyntaxError
 from .parser import parse
 
@@ -448,7 +449,7 @@ class OclTypeChecker:
         issues: List[TypeIssue] = []
         if isinstance(expression, str):
             try:
-                node = parse(expression)
+                node = parse_cached(expression)
             except OclSyntaxError as exc:
                 issues.append(TypeIssue(
                     "OCL008", f"syntax error: {str(exc).splitlines()[0]}",

@@ -1,0 +1,215 @@
+"""Tests for the incrementally maintained model indexes.
+
+The :class:`~repro.mof.index.ModelIndex` must agree with the containment
+scans it replaces after *any* sequence of model edits (the EditFuzzer
+drives set/unset/add/remove/move/reparent/create/delete through the
+notification protocol), and ``Repository.resolve`` must stay correct
+across element moves and removals — the regression that motivated the
+eid index cross-check.
+"""
+
+import pytest
+
+from modelgen import EditFuzzer, demo_generator, demo_package
+from repro.mof import (
+    M_0N,
+    MInteger,
+    Model,
+    Repository,
+    RepositoryError,
+    add_attribute,
+    add_reference,
+    define_class,
+    define_package,
+    set_read_hook,
+)
+
+
+def scan_instances(model, metaclass, exact=False):
+    if exact:
+        return [e for e in model.all_elements() if e.meta is metaclass]
+    return [e for e in model.all_elements()
+            if e.meta.conforms_to(metaclass)]
+
+
+def assert_index_matches_scans(model):
+    index = model.index()
+    problems = index.verify()
+    assert problems == []
+    metaclasses = {e.meta for e in model.all_elements()}
+    for metaclass in metaclasses:
+        for exact in (False, True):
+            indexed = model.instances_of(metaclass, exact=exact)
+            scanned = scan_instances(model, metaclass, exact=exact)
+            assert sorted(map(id, indexed)) == sorted(map(id, scanned)), (
+                metaclass.name, exact)
+
+
+class TestIndexMaintenance:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_extents_survive_fuzzed_edits(self, seed):
+        root = demo_generator(seed).generate(40)
+        model = Model(f"urn:fuzz{seed}")
+        model.add_root(root)
+        model.index()                       # build before the edits
+        fuzzer = EditFuzzer(root, seed=seed)
+        for _round in range(12):
+            fuzzer.apply_random_edits(15)
+            assert_index_matches_scans(model)
+
+    def test_lazy_build_after_edits(self):
+        root = demo_generator(9).generate(30)
+        model = Model("urn:lazybuild")
+        model.add_root(root)
+        EditFuzzer(root, seed=9).apply_random_edits(50)
+        assert_index_matches_scans(model)   # first index build happens here
+
+    def test_root_add_and_remove(self):
+        pkg = demo_package()
+        library = pkg.classifier("GLibrary")
+        first = demo_generator(1).generate(15)
+        second = demo_generator(2).generate(15)
+        model = Model("urn:roots")
+        model.add_root(first)
+        index = model.index()
+        before = len(model.instances_of(library))
+        in_second = sum(
+            1 for e in [second] + list(second.all_contents())
+            if e.meta.conforms_to(library))
+        model.add_root(second)
+        assert len(model.instances_of(library)) == before + in_second
+        assert index.verify() == []
+        model.remove_root(second)
+        assert len(model.instances_of(library)) == before
+        assert index.verify() == []
+
+    def test_read_hook_gates_to_scan(self):
+        root = demo_generator(4).generate(25)
+        model = Model("urn:gated")
+        model.add_root(root)
+        book = demo_package().classifier("GBook")
+        indexed = model.instances_of(book)
+        reads = []
+        previous = set_read_hook(lambda element, key: reads.append(key))
+        try:
+            scanned = model.instances_of(book)
+        finally:
+            set_read_hook(previous)
+        # same answer either way, but the hooked path performed the
+        # per-element reads dependency tracking relies on
+        assert sorted(map(id, scanned)) == sorted(map(id, indexed))
+        assert reads
+
+    def test_verify_reports_divergence(self):
+        root = demo_generator(6).generate(10)
+        model = Model("urn:broken")
+        model.add_root(root)
+        index = model.index()
+        victim = next(iter(root.all_contents()))
+        index._remove_one(victim)           # simulate a missed notification
+        assert any("missing from index" in p for p in index.verify())
+        index.rebuild()
+        assert index.verify() == []
+
+
+class TestRepositoryResolve:
+    def _repo_with_book(self):
+        repo = Repository()
+        source = repo.create_model("urn:a")
+        target = repo.create_model("urn:b")
+        source.add_root(demo_generator(3).generate(20))
+        target.add_root(demo_generator(8).generate(5))
+        book = next(e for e in source.all_elements()
+                    if e.meta.name == "GBook")
+        return repo, source, target, book
+
+    def test_resolve_uses_eid_index(self):
+        repo, source, _target, book = self._repo_with_book()
+        eid = book.eid
+        assert repo.resolve(f"urn:a#{eid}") is book
+        hits_before = source.index().hits
+        assert repo.resolve(f"urn:a#{eid}") is book
+        assert source.index().hits > hits_before
+
+    def test_resolve_after_move_between_models(self):
+        repo, _source, target, book = self._repo_with_book()
+        eid = book.eid
+        assert repo.resolve(f"urn:a#{eid}") is book
+        book._detach()
+        shelf = next((e for e in target.all_elements()
+                      if e.meta.name == "GShelf"), None)
+        if shelf is None:
+            shelf = demo_package().classifier("GShelf").instantiate()
+            target.roots[0].eget("shelves").append(shelf)
+        shelf.eget("books").append(book)
+        assert repo.resolve(f"urn:b#{eid}") is book
+        with pytest.raises(RepositoryError):
+            repo.resolve(f"urn:a#{eid}")
+
+    def test_resolve_after_delete(self):
+        repo, _source, _target, book = self._repo_with_book()
+        eid = book.eid
+        assert repo.resolve(f"urn:a#{eid}") is book
+        book.delete()
+        with pytest.raises(RepositoryError):
+            repo.resolve(f"urn:a#{eid}")
+
+    def test_resolve_lazily_assigned_eid(self):
+        # eids are assigned on first access without any notification; the
+        # index must repair itself through the scan fallback.
+        repo = Repository()
+        model = repo.create_model("urn:lazy")
+        model.add_root(demo_generator(12).generate(12))
+        model.index()                       # built before any eid exists
+        element = next(iter(model.all_elements()))
+        eid = element.eid                   # assigned now, silently
+        assert repo.resolve(f"urn:lazy#{eid}") is element
+        scans = model.index().eid_scans
+        assert repo.resolve(f"urn:lazy#{eid}") is element
+        assert model.index().eid_scans == scans     # second hit is indexed
+
+    def test_resolve_after_set_eid_rebind(self):
+        repo, _source, _target, book = self._repo_with_book()
+        eid = book.eid
+        assert repo.resolve(f"urn:a#{eid}") is book
+        book.set_eid("rebound-1")
+        assert repo.resolve("urn:a#rebound-1") is book
+        with pytest.raises(RepositoryError):
+            repo.resolve(f"urn:a#{eid}")
+
+
+class TestRepositoryAllInstances:
+    def test_all_instances_matches_scans(self):
+        repo = Repository()
+        for seed in (1, 2):
+            model = repo.create_model(f"urn:m{seed}")
+            model.add_root(demo_generator(seed).generate(20))
+        pkg = demo_package()
+        for name in ("GBook", "GShelf", "GNamed", "GLibrary"):
+            metaclass = pkg.classifier(name)
+            for exact in (False, True):
+                indexed = repo.all_instances(metaclass, exact=exact)
+                scanned = [e for e in repo.all_elements()
+                           if (e.meta is metaclass if exact
+                               else e.meta.conforms_to(metaclass))]
+                assert sorted(map(id, indexed)) == sorted(map(id, scanned))
+
+    def test_subclass_instances_found_via_superclass(self):
+        pkg = define_package("extent", "urn:test:extent")
+        base = define_class(pkg, "EBase")
+        add_attribute(base, "n", MInteger, 0)
+        sub = define_class(pkg, "ESub", superclasses=[base])
+        container = define_class(pkg, "EBox")
+        add_reference(container, "items", base, containment=True,
+                      multiplicity=M_0N)
+        box = container.instantiate()
+        model = Model("urn:extent")
+        model.add_root(box)
+        model.index()
+        items = box.eget("items")
+        items.append(base.instantiate())
+        items.append(sub.instantiate())
+        items.append(sub.instantiate())
+        assert len(model.instances_of(base)) == 3
+        assert len(model.instances_of(base, exact=True)) == 1
+        assert len(model.instances_of(sub)) == 2
