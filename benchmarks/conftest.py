@@ -1,7 +1,10 @@
 """Benchmark-suite configuration: make the sibling workloads module
-importable and print a header identifying the experiment mapping."""
+(and the shared model generators in tests/) importable and print a
+header identifying the experiment mapping."""
 
 import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "tests"))

@@ -53,7 +53,7 @@ from .validation import (
     compute_model_metrics,
     generate_transition_tests,
 )
-from .xmi import read_json, read_xml, write_json, write_xml
+from .xmi import persist as _persist
 
 ALL_PROFILES = [SPT, QOS_FT, TESTING, SYSML, ETSI_CS]
 
@@ -71,18 +71,19 @@ GENERATORS = {
 
 
 def load_model(path: str) -> MofModel:
-    """Read a model file, dispatching on extension."""
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
-    if path.endswith(".json"):
-        return read_json(text, [UML], profiles=ALL_PROFILES)
-    return read_xml(text, [UML], profiles=ALL_PROFILES)
+    """Read a model file, dispatching on extension.
+
+    Goes through :mod:`repro.xmi.persist`, so digest-sealed files are
+    verified and truncated/garbled input raises a recoverable
+    :class:`~repro.xmi.CorruptModelError` (exit code 2 at the top
+    level, with the ``.bak`` recovery hint in the message).
+    """
+    return _persist.load_model(path, [UML], profiles=ALL_PROFILES)
 
 
 def save_model(model: MofModel, path: str) -> None:
-    text = write_json(model) if path.endswith(".json") else write_xml(model)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(text)
+    """Write a model file atomically (temp + fsync + rename, ``.bak``)."""
+    _persist.save_model(model, path)
 
 
 # -- the shared diagnostic emitter -------------------------------------------
@@ -156,6 +157,12 @@ def _watch_pass(engine, model_path: str) -> "object":
           f"[{engine.stats.summary()}]")
     for diagnostic in report.errors + report.warnings:
         print(f"  {diagnostic.render()}")
+    quarantined = engine.quarantined()
+    if quarantined:
+        print(f"  {len(quarantined)} check unit(s) quarantined "
+              f"(crashed checkers, retrying with backoff):")
+        for line in engine.quarantine_report():
+            print(f"    {line}")
     return report
 
 
@@ -208,7 +215,10 @@ def cmd_watch(args: argparse.Namespace) -> int:
         engine.detach()
         return code
     if args.once:
+        quarantined = engine.quarantined()
         engine.detach()
+        if args.strict and quarantined:
+            return 2
         return 0 if not report.errors else 1
     rendered = {d.render() for d in report.diagnostics}
     print(f"watching {args.model} (interval {args.interval}s, "
@@ -578,12 +588,16 @@ def build_parser() -> argparse.ArgumentParser:
                     "repro.incremental; --bench demonstrates it on the "
                     "loaded model with single-element rename edits.",
         epilog="exit codes (with --once): 0 = clean, 1 = errors found, "
-               "2 = usage/load error")
+               "2 = usage/load error, or quarantined checkers under "
+               "--strict")
     p.add_argument("model", help="model file (.xmi/.xml/.json)")
     p.add_argument("--interval", type=float, default=1.0,
                    help="poll interval in seconds (default 1.0)")
     p.add_argument("--once", action="store_true",
                    help="print one report and exit")
+    p.add_argument("--strict", action="store_true",
+                   help="with --once: exit 2 if any check unit is "
+                        "quarantined (its checker crashed)")
     p.add_argument("--bench", type=int, metavar="N",
                    help="apply N single-element edits in-process and "
                         "report incremental vs full revalidation timings")

@@ -18,6 +18,7 @@ Public surface:
 from .engine import (
     EngineStats,
     IncrementalEngine,
+    QuarantineEntry,
     diagnostic_key,
     report_signature,
     watch,
@@ -29,6 +30,7 @@ __all__ = [
     "DependencyGraph",
     "EngineStats",
     "IncrementalEngine",
+    "QuarantineEntry",
     "ReadKey",
     "collect_reads",
     "diagnostic_key",

@@ -31,6 +31,7 @@ from collections import Counter
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+from .. import faults as _faults
 from ..analysis.registry import DEFAULT_REGISTRY, LintConfig, LintRule, RuleRegistry
 from ..analysis.runner import LintContext
 from ..mof.kernel import Element, MetaClass, Reference
@@ -172,13 +173,37 @@ class EngineStats:
     revalidations: int = 0     # revalidate() calls
     last_rerun: int = 0        # units re-executed by the last revalidate()
     last_skipped: int = 0      # units served from cache by it
+    checker_failures: int = 0  # unit runs that raised (quarantine events)
 
     def summary(self) -> str:
-        return (f"units rerun/cached {self.last_rerun}/{self.last_skipped}, "
-                f"lifetime runs {self.unit_runs}, "
-                f"notifications {self.notifications}, "
-                f"invalidations {self.invalidations}, "
-                f"syncs {self.syncs}")
+        out = (f"units rerun/cached {self.last_rerun}/{self.last_skipped}, "
+               f"lifetime runs {self.unit_runs}, "
+               f"notifications {self.notifications}, "
+               f"invalidations {self.invalidations}, "
+               f"syncs {self.syncs}")
+        if self.checker_failures:
+            out += f", checker failures {self.checker_failures}"
+        return out
+
+
+@dataclass
+class QuarantineEntry:
+    """Failure isolation record for one crashing (check, element) unit.
+
+    A unit whose ``run()`` raises does not kill the engine: the exception
+    becomes an ERROR diagnostic (code ``checker-crashed``) and the unit is
+    quarantined — skipped by subsequent revalidations until ``retry_at``
+    (exponential backoff in revalidation passes: 1, 2, 4, ... capped at
+    64).  A retry that succeeds lifts the quarantine; one that raises
+    doubles the backoff.
+    """
+
+    failures: int = 0          # consecutive raising runs
+    retry_at: int = 0          # stats.revalidations value when due again
+    error: str = ""            # str() of the last exception
+
+    def due(self, revalidations: int) -> bool:
+        return revalidations >= self.retry_at
 
 
 # ---------------------------------------------------------------------------
@@ -242,6 +267,8 @@ class IncrementalEngine:
         self._external: Dict[int, Element] = {}
         self._roots_snapshot: Tuple[Element, ...] = ()
         self._structure_dirty = True
+        self._quarantine: Dict[tuple, QuarantineEntry] = {}
+        self._txn_listener = None
         self.stats = EngineStats()
         self.model.observe(self._on_change)
         self._attached = True
@@ -275,6 +302,33 @@ class IncrementalEngine:
                 element.unobserve(self._on_external_change)
             self._external.clear()
             self._attached = False
+        self.unbind_transactions()
+
+    def bind_transactions(self) -> None:
+        """Revalidate once per committed outermost transaction.
+
+        Notifications still mark units dirty as they stream in; binding
+        adds a commit listener so a whole edit burst is re-checked in one
+        pass when its transaction commits, instead of the caller polling.
+        Rollbacks need no special casing — replayed inverses are ordinary
+        notifications, so the dirty set unwinds with the model.
+        """
+        if self._txn_listener is not None:
+            return
+        from ..mof import txn as _txn
+
+        def on_txn_commit(txn: Any, _engine=self) -> None:
+            if _engine._attached and txn.op_count:
+                _engine.revalidate()
+
+        self._txn_listener = on_txn_commit
+        _txn.on_commit(on_txn_commit)
+
+    def unbind_transactions(self) -> None:
+        if self._txn_listener is not None:
+            from ..mof import txn as _txn
+            _txn.remove_listener(self._txn_listener)
+            self._txn_listener = None
 
     def __enter__(self) -> "IncrementalEngine":
         return self
@@ -295,6 +349,7 @@ class IncrementalEngine:
         self._results.pop(key, None)
         self._deps.drop(key)
         self._dirty.discard(key)
+        self._quarantine.pop(key, None)
 
     def _element_invariants(self, element: Element) -> List[Any]:
         seen: Set[int] = set()
@@ -459,14 +514,76 @@ class IncrementalEngine:
 
     # -- execution ---------------------------------------------------------
 
+    #: consecutive-failure backoff cap: 2**6 = 64 revalidation passes
+    _BACKOFF_CAP = 6
+
     def _run_unit(self, key: tuple, unit: _Unit) -> None:
         reads: Set[ReadKey] = set()
-        with collect_reads(reads):
-            diagnostics = unit.run()
+        try:
+            with collect_reads(reads):
+                if _faults.ACTIVE is not None:
+                    _faults.probe("checker.run")
+                diagnostics = unit.run()
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            self._quarantine_unit(key, unit, exc, reads)
+            return
         self._results[key] = tuple(diagnostics)
         self._deps.set_reads(key, reads)
         self._note_external_reads(reads)
         self.stats.unit_runs += 1
+        if key in self._quarantine:
+            del self._quarantine[key]
+
+    def _quarantine_unit(self, key: tuple, unit: _Unit, exc: Exception,
+                         reads: Set[ReadKey]) -> None:
+        entry = self._quarantine.get(key)
+        if entry is None:
+            entry = self._quarantine[key] = QuarantineEntry()
+        entry.failures += 1
+        entry.error = f"{type(exc).__name__}: {exc}"
+        entry.retry_at = self.stats.revalidations + \
+            2 ** min(entry.failures - 1, self._BACKOFF_CAP)
+        element = getattr(unit, "element", None) \
+            or getattr(unit, "target", None) or getattr(unit, "root", None)
+        self._results[key] = (Diagnostic(
+            Severity.ERROR,
+            element if isinstance(element, Element) else None,
+            f"{unit.kind} checker raised and was quarantined "
+            f"(failure {entry.failures}, retrying after revalidation "
+            f"{entry.retry_at}): {entry.error}",
+            code="checker-crashed"),)
+        # keep whatever reads happened before the crash so a relevant edit
+        # can re-dirty the unit even before the backoff expires
+        self._deps.set_reads(key, reads)
+        self._note_external_reads(reads)
+        self.stats.unit_runs += 1
+        self.stats.checker_failures += 1
+        self._dirty.add(key)        # retried once the backoff expires
+        if _trace.ON:
+            _metrics.REGISTRY.counter(
+                "incremental.checker.crashes",
+                help="check unit runs that raised (quarantine events)",
+                kind=unit.kind).inc()
+            _metrics.REGISTRY.gauge(
+                "incremental.quarantine.size",
+                help="units currently quarantined").set(
+                    len(self._quarantine))
+
+    def quarantined(self) -> Dict[tuple, QuarantineEntry]:
+        """The currently quarantined units (unit key -> entry), live."""
+        return dict(self._quarantine)
+
+    def quarantine_report(self) -> List[str]:
+        """Human-readable one-liners for each quarantined unit."""
+        out = []
+        for key, entry in sorted(self._quarantine.items(),
+                                 key=lambda item: -item[1].failures):
+            unit = self._units.get(key)
+            kind = unit.kind if unit is not None else "?"
+            out.append(f"[{kind}] {key[-1] if key else '?'}: "
+                       f"{entry.error} (failures {entry.failures}, "
+                       f"retry at pass {entry.retry_at})")
+        return out
 
     def revalidate(self) -> ValidationReport:
         """Bring every cached result up to date; return the merged report.
@@ -503,6 +620,11 @@ class IncrementalEngine:
         for key in dirty:
             unit = self._units.get(key)
             if unit is None:
+                continue
+            entry = self._quarantine.get(key)
+            if entry is not None and not entry.due(self.stats.revalidations):
+                # backing off: stays pending without re-running
+                self._dirty.add(key)
                 continue
             self._run_unit(key, unit)
             rerun += 1

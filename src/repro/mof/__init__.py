@@ -12,7 +12,9 @@ Public surface:
 * validation: :func:`validate_element`, :func:`validate_tree`,
   :func:`validate_model`;
 * queries: see :mod:`repro.mof.query`;
-* change notification: :class:`Notification`, :class:`ChangeRecorder`.
+* change notification: :class:`Notification`, :class:`ChangeRecorder`;
+* transactions: :func:`transaction`, :class:`Transaction`,
+  :func:`current_transaction` (see :mod:`repro.mof.txn`).
 """
 
 from .builder import ClassBuilder, PackageBuilder
@@ -31,6 +33,7 @@ from .errors import (
     MofError,
     MultiplicityError,
     RepositoryError,
+    TransactionError,
     TypeConformanceError,
     UnknownFeatureError,
 )
@@ -61,7 +64,15 @@ from .query import (
     referenced_elements,
     select,
 )
-from .repository import Model, Repository
+from .repository import Model, Repository, set_root_hook
+from .txn import (
+    RootChange,
+    Savepoint,
+    Transaction,
+    current_transaction,
+    in_transaction,
+    transaction,
+)
 from .types import (
     M_01,
     M_0N,
@@ -99,11 +110,14 @@ __all__ = [
     "ModelIndex",
     "MofError", "Multiplicity", "MultiplicityError", "Notification",
     "PackageBuilder", "PrimitiveType", "Reference", "Repository",
-    "RepositoryError", "Severity", "TypeConformanceError", "UNBOUNDED",
+    "RepositoryError", "RootChange", "Savepoint", "Severity",
+    "Transaction", "TransactionError", "TypeConformanceError", "UNBOUNDED",
     "UnknownFeatureError", "ValidationReport", "add_attribute",
     "add_reference", "all_contents", "closure", "cross_references",
-    "define_class", "define_enum", "define_package", "find_by_name",
+    "current_transaction", "define_class", "define_enum", "define_package",
+    "find_by_name", "in_transaction",
     "instances_of", "model_path", "navigate", "path", "primitive_by_name",
-    "referenced_elements", "select", "validate_element",
+    "referenced_elements", "select", "set_root_hook", "transaction",
+    "validate_element",
     "validate_invariants", "validate_model", "validate_tree",
 ]

@@ -56,3 +56,16 @@ class FrozenElementError(MofError):
 
 class RepositoryError(MofError):
     """Model repository problems: duplicate URIs, unresolvable proxies."""
+
+
+class TransactionError(MofError):
+    """Transaction protocol misuse (commit after rollback, foreign
+    savepoint) or — gravely — a rollback that could not fully restore the
+    pre-transaction state; carries the per-entry failures."""
+
+    def __init__(self, message: str, failures=()):
+        self.failures = tuple(failures)
+        if self.failures:
+            detail = "; ".join(str(f) for f in self.failures[:3])
+            message = f"{message}: {detail}"
+        super().__init__(message)

@@ -35,6 +35,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from .. import faults as _faults
 from .errors import (
     CompositionError,
     FrozenElementError,
@@ -622,6 +623,8 @@ class FeatureList:
     def remove(self, value: Any) -> None:
         if value not in self:
             raise ValueError(f"{value!r} not in feature '{self._feature.name}'")
+        if _faults.ACTIVE is not None:
+            _faults.probe("kernel.write")
         if self._feature.is_reference:
             _unlink(self._owner, self._feature, value)
         else:
@@ -647,6 +650,8 @@ class FeatureList:
 
     def move(self, new_index: int, value: Any) -> None:
         """Reposition *value* within an ordered feature."""
+        if _faults.ACTIVE is not None:
+            _faults.probe("kernel.write")
         _check_mutable(self._owner)
         old_index = self._items.index(value)
         if old_index == new_index:
@@ -665,6 +670,8 @@ class FeatureList:
     def _insert(self, index: int, value: Any) -> None:
         if value in self:
             return
+        if _faults.ACTIVE is not None:
+            _faults.probe("kernel.write")
         self._feature.check_type(value)
         upper = self._feature.multiplicity.upper
         if upper is not None and len(self._items) >= upper:
@@ -746,6 +753,11 @@ def _index_of(obj: "Element", feature: Reference,
 def _unlink(source: "Element", feature: Reference, target: "Element",
             *, notify: bool = True) -> None:
     """Break the ``source --feature--> target`` link and its inverse."""
+    if _faults.ACTIVE is not None:
+        # Covers delete()/_detach(), which reach _unlink without passing a
+        # FeatureList entry point — a fault mid-delete is the canonical
+        # partial compound edit a transaction must be able to unwind.
+        _faults.probe("kernel.write")
     _check_mutable(source)
     opposite = feature.opposite
     if opposite is not None:
@@ -834,7 +846,12 @@ def _link(source: "Element", feature: Reference, target: "Element",
                                 position=position))
     if opposite is not None:
         okind = ChangeKind.ADD if opposite.many else ChangeKind.SET
-        target._notify(Notification(target, opposite, okind, new=source))
+        # The inverse slot always appends, but rollback needs the actual
+        # index to restore ordered opposite lists faithfully.
+        opp_position = (_index_of(target, opposite, source)
+                        if opposite.many else None)
+        target._notify(Notification(target, opposite, okind, new=source,
+                                    position=opp_position))
 
 
 def _get_value(obj: "Element", feature: Feature) -> Any:
@@ -850,6 +867,11 @@ def _get_value(obj: "Element", feature: Feature) -> Any:
 def _set_value(obj: "Element", feature: Feature, value: Any) -> None:
     if _WRITE_HOOK is not None:
         _WRITE_HOOK(obj, feature.name)
+    if _faults.ACTIVE is not None and not feature.many:
+        # Many-valued assignment decomposes into per-item inserts/removes
+        # which each carry their own probe; probing here too would double
+        # the firing count for one logical write.
+        _faults.probe("kernel.write")
     if feature.many:
         current = _slot_list(obj, feature)
         if value is current:

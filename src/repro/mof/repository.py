@@ -18,6 +18,25 @@ if TYPE_CHECKING:                                   # pragma: no cover
     from .index import ModelIndex
 
 
+_ROOT_HOOK = None
+
+
+def set_root_hook(hook):
+    """Install *hook* as the repository-wide root-change observer; return
+    the previous one.
+
+    Root attachment is not a feature write, so it never reaches the
+    notification stream — but a transaction must still be able to undo
+    ``add_root``/``remove_root``.  When installed, the hook is called as
+    ``hook(model, element, added)`` after every root-list change; with no
+    hook (``None``) the paths pay one global load and a falsy test.
+    """
+    global _ROOT_HOOK
+    previous = _ROOT_HOOK
+    _ROOT_HOOK = hook
+    return previous
+
+
 class Model:
     """A named collection of root elements forming one model document."""
 
@@ -43,6 +62,8 @@ class Model:
         # root attachment emits no notification; tell the index directly
         if self._index is not None:
             self._index.root_added(element)
+        if _ROOT_HOOK is not None:
+            _ROOT_HOOK(self, element, True)
         return element
 
     def remove_root(self, element: Element) -> None:
@@ -50,6 +71,8 @@ class Model:
         object.__setattr__(element, "_model", None)
         if self._index is not None:
             self._index.root_removed(element)
+        if _ROOT_HOOK is not None:
+            _ROOT_HOOK(self, element, False)
 
     def index(self) -> "ModelIndex":
         """The model's extent/eid index, built lazily on first use and

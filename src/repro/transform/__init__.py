@@ -19,12 +19,16 @@ from .chain import (
     TransformationChain,
 )
 from .engine import (
+    FAIL_FAST,
+    SKIP,
+    FailurePolicy,
     Transformation,
     TransformationContext,
     TransformationResult,
 )
 from .errors import (
     GateClosedError,
+    RuleApplicationError,
     RuleError,
     TransformError,
     UnresolvedTraceError,
@@ -47,10 +51,12 @@ from .uml2rel import (
 )
 
 __all__ = [
-    "ChainResult", "ChainStep", "CloneRule", "DEFAULT_ROLE", "FunctionRule",
-    "RELATIONAL", "schema_to_sql", "uml_to_relational",
+    "ChainResult", "ChainStep", "CloneRule", "DEFAULT_ROLE", "FAIL_FAST",
+    "FailurePolicy", "FunctionRule",
+    "RELATIONAL", "SKIP", "schema_to_sql", "uml_to_relational",
     "GateClosedError", "GateVerdict", "PlatformParametricTransformation",
-    "Rule", "RuleError", "StepRecord", "TraceLink", "TraceModel",
+    "Rule", "RuleApplicationError", "RuleError", "StepRecord", "TraceLink",
+    "TraceModel",
     "TransformError", "Transformation", "TransformationChain",
     "TransformationContext", "TransformationResult", "TransitionRow",
     "UnresolvedTraceError", "check_refinement", "clone_transformation",

@@ -22,13 +22,62 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Union
 
+from .. import faults as _faults
+from ..mof import txn as _txn
 from ..mof.kernel import Element
 from ..mof.repository import Model
+from ..mof.validate import Diagnostic, Severity
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
-from .errors import TransformError, UnresolvedTraceError
+from .errors import RuleApplicationError, TransformError, UnresolvedTraceError
 from .rule import Rule
 from .trace import DEFAULT_ROLE, TraceLink, TraceModel
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """What a :class:`Transformation` does when a rule raises.
+
+    Every rule application (create *and* bind) runs inside a kernel
+    transaction, so whatever a failing rule had already mutated is rolled
+    back before the policy acts; the difference is what happens next:
+
+    * ``fail-fast`` (default) — re-raise as
+      :class:`~repro.transform.errors.RuleApplicationError` with the
+      original exception chained; the run stops, the source and any
+      shared targets are exactly as before the failing application.
+    * ``skip`` — record an ERROR :class:`~repro.mof.validate.Diagnostic`
+      (code ``rule-failed``) on the result and carry on with the next
+      element; the paper's gates then decide whether a partially mapped
+      PSM may proceed.
+    * ``retry`` — re-apply up to ``retries`` extra times (each attempt
+      freshly rolled back), then fall through to ``then`` (``fail-fast``
+      or ``skip``) — for transient faults, not deterministic bugs.
+    """
+
+    mode: str = "fail-fast"          # fail-fast | skip | retry
+    retries: int = 2                 # extra attempts in retry mode
+    then: str = "fail-fast"          # retry exhaustion: fail-fast | skip
+
+    def __post_init__(self):
+        if self.mode not in ("fail-fast", "skip", "retry"):
+            raise ValueError(f"unknown failure-policy mode {self.mode!r}")
+        if self.then not in ("fail-fast", "skip"):
+            raise ValueError(f"unknown failure-policy fallback {self.then!r}")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+
+    @property
+    def attempts(self) -> int:
+        return self.retries + 1 if self.mode == "retry" else 1
+
+    @property
+    def on_exhausted(self) -> str:
+        return self.then if self.mode == "retry" else self.mode
+
+
+FAIL_FAST = FailurePolicy("fail-fast")
+SKIP = FailurePolicy("skip")
 
 
 class TransformationContext:
@@ -81,12 +130,22 @@ class TransformationContext:
 
 @dataclass
 class TransformationResult:
-    """Output of one run: target roots, the trace, and statistics."""
+    """Output of one run: target roots, the trace, and statistics.
+
+    ``failures`` holds one ERROR diagnostic (code ``rule-failed``) per
+    rule application a ``skip`` failure policy rolled back and skipped;
+    it is empty under ``fail-fast`` (the run would have raised instead).
+    """
 
     target_roots: List[Element] = field(default_factory=list)
     trace: TraceModel = field(default_factory=TraceModel)
     elements_visited: int = 0
     elapsed_seconds: float = 0.0
+    failures: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
     def target_model(self, uri: str = "urn:target",
                      name: str = "target") -> Model:
@@ -129,17 +188,26 @@ class Transformation:
 
     def run(self, source: Union[Model, Element, Iterable[Element]], *,
             platform: Any = None,
-            parameters: Optional[Dict[str, Any]] = None
+            parameters: Optional[Dict[str, Any]] = None,
+            failure_policy: Optional[FailurePolicy] = None
             ) -> TransformationResult:
         """Transform *source* (a model, one root, or several roots).
+
+        Each rule application (create and bind alike) runs inside a
+        kernel transaction and is governed by *failure_policy* (default
+        :data:`FAIL_FAST`): a raising rule never leaves half an
+        application behind, whether the run then stops, skips, or
+        retries — see :class:`FailurePolicy`.
 
         When the observability layer is on, the run and its two phases
         are wrapped in ``transform.*`` spans and every rule's match and
         apply costs feed per-rule histograms/counters.
         """
         started = time.perf_counter()
+        policy = failure_policy or FAIL_FAST
         roots = self._roots_of(source)
         ctx = TransformationContext(self, roots, platform, parameters)
+        failures: List[Diagnostic] = []
         visited = 0
         obs_on = _trace.ON          # sampled once per run
         run_span = (_trace.span("transform.run", transformation=self.name,
@@ -164,7 +232,8 @@ class Transformation:
                             if not matched:
                                 continue
                             t0 = time.perf_counter()
-                            self._apply_rule(candidate, element, ctx)
+                            self._apply_guarded(candidate, element, ctx,
+                                                policy, failures)
                             _metrics.REGISTRY.histogram(
                                 "transform.rule.apply.seconds",
                                 help="per-rule create-phase apply time",
@@ -177,7 +246,8 @@ class Transformation:
                         else:
                             if not candidate.matches(element, ctx):
                                 continue
-                            self._apply_rule(candidate, element, ctx)
+                            self._apply_guarded(candidate, element, ctx,
+                                                policy, failures)
                         if candidate.exclusive:
                             break
 
@@ -185,13 +255,14 @@ class Transformation:
             with (_trace.span("transform.bind") if obs_on
                   else _trace.NULL_SPAN):
                 for link in list(ctx.trace):
-                    self._bind_link(link, ctx)
+                    self._bind_guarded(link, ctx, policy, failures)
 
             result = TransformationResult(
                 target_roots=self._collect_roots(ctx),
                 trace=ctx.trace,
                 elements_visited=visited,
                 elapsed_seconds=time.perf_counter() - started,
+                failures=failures,
             )
             if obs_on:
                 run_span.tag(elements=visited, links=len(list(ctx.trace)))
@@ -217,8 +288,63 @@ class Transformation:
             yield root
             yield from root.all_contents()
 
+    def _apply_guarded(self, rule_obj: Rule, element: Element,
+                       ctx: TransformationContext, policy: FailurePolicy,
+                       failures: List[Diagnostic]) -> Optional[TraceLink]:
+        """Apply *rule_obj* under a transaction and the failure policy."""
+        last: Optional[Exception] = None
+        for _attempt in range(policy.attempts):
+            try:
+                with _txn.transaction(ctx):
+                    return self._apply_rule(rule_obj, element, ctx)
+            except Exception as exc:  # noqa: BLE001 - policy decides
+                last = exc
+        self._rule_failed(rule_obj.name, element, last, "create",
+                          policy, failures)
+        return None
+
+    def _bind_guarded(self, link: TraceLink, ctx: TransformationContext,
+                      policy: FailurePolicy,
+                      failures: List[Diagnostic]) -> None:
+        last: Optional[Exception] = None
+        for _attempt in range(policy.attempts):
+            try:
+                with _txn.transaction(ctx):
+                    self._bind_link(link, ctx)
+                return
+            except Exception as exc:  # noqa: BLE001 - policy decides
+                last = exc
+        self._rule_failed(link.rule_name, link.source, last, "bind",
+                          policy, failures)
+
+    def _rule_failed(self, rule_name: str, element: Element,
+                     error: Exception, phase: str, policy: FailurePolicy,
+                     failures: List[Diagnostic]) -> None:
+        """The policy's endgame once every attempt was rolled back."""
+        if _trace.ON:
+            _metrics.REGISTRY.counter(
+                "transform.rule.failures",
+                help="rule applications rolled back by the failure policy",
+                rule=rule_name, phase=phase).inc()
+        if policy.on_exhausted == "skip":
+            failures.append(Diagnostic(
+                Severity.ERROR, element,
+                f"rule '{rule_name}' failed in {phase} phase and was "
+                f"skipped: {type(error).__name__}: {error}",
+                code="rule-failed",
+                hint="the application was rolled back; the source and "
+                     "other targets are unaffected"))
+            return
+        if policy.mode == "retry":
+            raise RuleApplicationError(rule_name, element, error,
+                                       phase=phase,
+                                       attempts=policy.attempts) from error
+        raise error
+
     def _apply_rule(self, rule_obj: Rule, element: Element,
                     ctx: TransformationContext) -> Optional[TraceLink]:
+        if _faults.ACTIVE is not None:
+            _faults.probe("transform.rule")
         produced = rule_obj.create(element, ctx)
         if produced is None:
             targets: Dict[str, Element] = {}

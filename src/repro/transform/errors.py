@@ -27,3 +27,21 @@ class UnresolvedTraceError(TransformError):
 class GateClosedError(TransformError):
     """A methodology gate refused to let the transformation run (failing
     tests at the source abstraction level)."""
+
+
+class RuleApplicationError(TransformError):
+    """A rule raised while being applied and the failure policy stopped
+    the run; the original exception is ``__cause__`` / ``.error``."""
+
+    def __init__(self, rule_name: str, element: object, error: Exception,
+                 phase: str = "create", attempts: int = 1):
+        self.rule_name = rule_name
+        self.element = element
+        self.error = error
+        self.phase = phase
+        self.attempts = attempts
+        retried = f" after {attempts} attempts" if attempts > 1 else ""
+        super().__init__(
+            f"rule '{rule_name}' failed on {element!r} in {phase} phase"
+            f"{retried}: {type(error).__name__}: {error}"
+        )

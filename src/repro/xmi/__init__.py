@@ -3,14 +3,27 @@
 * :func:`write_xml` / :func:`read_xml`
 * :func:`write_json` / :func:`read_json`
 * :class:`TypeRegistry` for label → metaclass resolution
+* crash-safe files: :func:`save_model` / :func:`load_model`
+  (atomic rename, ``.bak`` retention, digest-verified loads raising
+  :class:`CorruptModelError`)
 """
 
 from .ids import assign_ids
 from .jsonio import read_json, write_json
+from .persist import (
+    CorruptModelError,
+    PersistenceError,
+    atomic_write_text,
+    backup_path,
+    load_model,
+    save_model,
+)
 from .reader import TypeRegistry, XmiReader, read_xml
 from .writer import XmiWriter, write_xml
 
 __all__ = [
-    "TypeRegistry", "XmiReader", "XmiWriter", "assign_ids", "read_json",
-    "read_xml", "write_json", "write_xml",
+    "CorruptModelError", "PersistenceError", "TypeRegistry", "XmiReader",
+    "XmiWriter", "assign_ids", "atomic_write_text", "backup_path",
+    "load_model", "read_json",
+    "read_xml", "save_model", "write_json", "write_xml",
 ]

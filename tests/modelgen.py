@@ -243,12 +243,31 @@ class EditFuzzer:
            ("remove_ref", 2), ("move", 1), ("reparent", 2),
            ("create", 2), ("delete", 1))
 
+    #: named weight tables.  "destructive" leans on the operations whose
+    #: inverses are hardest to replay (subtree deletes, removals from the
+    #: middle of ordered lists); "shuffle" churns ordering and ownership
+    #: without net growth.  Both exist to stress transaction rollback.
+    PROFILES: Dict[str, Tuple[Tuple[str, int], ...]] = {
+        "default": OPS,
+        "destructive": (("set_attr", 1), ("unset_attr", 2),
+                        ("add_ref", 1), ("remove_ref", 4), ("move", 3),
+                        ("reparent", 3), ("create", 1), ("delete", 5)),
+        "shuffle": (("set_attr", 1), ("unset_attr", 1), ("add_ref", 2),
+                    ("remove_ref", 2), ("move", 6), ("reparent", 5),
+                    ("create", 1), ("delete", 1)),
+    }
+
     def __init__(self, root: Element, *, seed: int = 0,
-                 generator: Optional[ModelGenerator] = None):
+                 generator: Optional[ModelGenerator] = None,
+                 profile: str = "default"):
         self.root = root
         self.rng = random.Random(seed)
         self.generator = generator
-        self._ops = [name for name, weight in self.OPS
+        if profile not in self.PROFILES:
+            raise KeyError(f"unknown fuzz profile {profile!r}; expected "
+                           f"one of {sorted(self.PROFILES)}")
+        self.profile = profile
+        self._ops = [name for name, weight in self.PROFILES[profile]
                      for _ in range(weight)]
 
     def elements(self) -> List[Element]:

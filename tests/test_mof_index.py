@@ -213,3 +213,80 @@ class TestRepositoryAllInstances:
         assert len(model.instances_of(base)) == 3
         assert len(model.instances_of(base, exact=True)) == 1
         assert len(model.instances_of(sub)) == 2
+
+
+class TestIndexAfterRollback:
+    """Rollback replays inverses through the same kernel operations the
+    forward edits used, so the notification-maintained structures — the
+    ModelIndex extents and the Repository eid index — must come out of
+    an aborted transaction exactly as fresh as they went in.  Run under
+    REPRO_INDEX_VERIFY so every indexed answer is oracle-checked."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+    def test_extents_fresh_after_aborted_fuzz(self, seed, monkeypatch):
+        from repro.mof import transaction
+        monkeypatch.setenv("REPRO_INDEX_VERIFY", "1")
+        generator = demo_generator(seed)
+        root = generator.generate(30)
+        model = Model(f"urn:rollback{seed}")
+        model.add_root(root)
+        model.index()                       # maintained from here on
+        fuzzer = EditFuzzer(root, seed=seed, generator=generator,
+                            profile="destructive")
+
+        class Abort(RuntimeError):
+            pass
+
+        for round_no in range(4):
+            with pytest.raises(Abort):
+                with transaction():
+                    fuzzer.apply_random_edits(12)
+                    assert_index_matches_scans(model)   # mid-txn queries
+                    raise Abort
+            assert_index_matches_scans(model)           # post-abort
+        # and committed work is still tracked afterwards
+        fuzzer.apply_random_edits(12)
+        assert_index_matches_scans(model)
+
+    def test_resolve_fresh_after_aborted_delete(self):
+        from repro.mof import transaction
+        repo = Repository()
+        model = repo.create_model("urn:txnresolve")
+        model.add_root(demo_generator(3).generate(20))
+        book = next(e for e in model.all_elements()
+                    if e.meta.name == "GBook")
+        eid = book.eid
+        assert repo.resolve(f"urn:txnresolve#{eid}") is book
+
+        class Abort(RuntimeError):
+            pass
+
+        with pytest.raises(Abort):
+            with transaction():
+                book.delete()
+                with pytest.raises(RepositoryError):
+                    repo.resolve(f"urn:txnresolve#{eid}")
+                raise Abort
+        # the aborted delete must not leave the eid unresolvable
+        assert repo.resolve(f"urn:txnresolve#{eid}") is book
+
+    def test_resolve_does_not_leak_rolled_back_elements(self):
+        from repro.mof import transaction
+        pkg = demo_package()
+        repo = Repository()
+        model = repo.create_model("urn:txnleak")
+        model.add_root(demo_generator(4).generate(10))
+        library = model.roots[0]
+
+        class Abort(RuntimeError):
+            pass
+
+        with pytest.raises(Abort):
+            with transaction():
+                shelf = pkg.classifier("GShelf").instantiate()
+                library.eget("shelves").append(shelf)
+                eid = shelf.eid             # assigned while attached
+                assert repo.resolve(f"urn:txnleak#{eid}") is shelf
+                raise Abort
+        with pytest.raises(RepositoryError):
+            repo.resolve(f"urn:txnleak#{eid}")

@@ -395,3 +395,107 @@ def test_no_silent_mutations(label, mutate, expected):
     assert len(recorder) == expected, \
         f"{label}: expected {expected} notifications, got " \
         f"{[str(n) for n in recorder.notifications]}"
+
+
+# ---------------------------------------------------------------------------
+# Inverse sufficiency: the journal can undo every change kind
+# ---------------------------------------------------------------------------
+
+class TestInverseSufficiency:
+    """The transaction journal (repro.mof.txn) is only as good as the
+    notifications it replays: every :class:`ChangeKind` must carry
+    enough state — effective old value, position, both ends of a link —
+    to reconstruct the pre-state.  These tests apply the documented
+    inverse of each kind *by hand* from the captured notification and
+    assert the mutation disappears, pinning the record format the
+    rollback machinery depends on."""
+
+    def test_set_old_value_suffices(self, book):
+        book.pages = 7
+        recorder = record(book)
+        book.pages = 9
+        n = last(recorder)
+        assert n.kind is ChangeKind.SET
+        book.eset(n.feature.name, n.old)
+        assert book.pages == 7
+
+    def test_unset_old_value_suffices(self, book):
+        recorder = record(book)
+        book.eunset("name")
+        n = last(recorder)
+        assert n.kind is ChangeKind.UNSET and n.old == "b"
+        book.eset(n.feature.name, n.old)
+        assert book.name == "b"
+
+    def test_add_new_value_suffices(self, book):
+        recorder = record(book)
+        book.tags.append("x")
+        n = last(recorder)
+        assert n.kind is ChangeKind.ADD and n.new == "x"
+        book.eget(n.feature.name).remove(n.new)
+        assert list(book.tags) == []
+
+    def test_remove_carries_value_and_exact_position(self, book):
+        book.tags.extend(["a", "b", "c"])
+        recorder = record(book)
+        book.tags.remove("b")
+        n = last(recorder)
+        assert n.kind is ChangeKind.REMOVE
+        assert (n.old, n.position) == ("b", 1)
+        book.eget(n.feature.name).insert(n.position, n.old)
+        assert list(book.tags) == ["a", "b", "c"]
+
+    def test_move_old_index_suffices(self, book):
+        book.tags.extend(["a", "b", "c"])
+        recorder = record(book)
+        book.tags.move(2, "a")
+        n = last(recorder)
+        assert n.kind is ChangeKind.MOVE
+        assert (n.old, n.new, n.position) == (0, "a", 2)
+        book.eget(n.feature.name).move(n.old, n.new)
+        assert list(book.tags) == ["a", "b", "c"]
+
+    def test_containment_remove_restores_link_and_position(self, lib):
+        books = [TBook(name=t) for t in ("x", "y", "z")]
+        for b in books:
+            lib.books.append(b)
+        recorder = record(lib)
+        lib.books.remove(books[1])
+        n = last(recorder)
+        assert n.kind is ChangeKind.REMOVE
+        assert (n.old, n.position) == (books[1], 1)
+        lib.books.insert(n.position, n.old)
+        assert [b.name for b in lib.books] == ["x", "y", "z"]
+        assert books[1].library is lib      # opposite re-established
+
+    def test_opposite_add_notification_carries_position(self, lib):
+        """The non-owning end of a bidirectional link also reports the
+        index its slot changed at — the record a faithful ordered-list
+        rollback needs (regression: it used to report position=None)."""
+        first, second = TBook(name="f"), TBook(name="s")
+        lib.books.append(first)
+        lib.books.append(second)
+        recorder = record(lib)
+        # set from the *book* side: lib's ADD arrives via the opposite
+        third = TBook(name="t")
+        third.library = lib
+        adds = [n for n in recorder.notifications
+                if n.kind is ChangeKind.ADD and n.element is lib]
+        assert len(adds) == 1
+        assert adds[0].position == 2
+
+    def test_frozen_veto_emits_nothing_to_undo(self, lib):
+        """A vetoed mutation must not notify: if it did, rollback would
+        'undo' a change that never happened."""
+        book = TBook(name="b")
+        lib.books.append(book)
+        lib.freeze(recursive=False)
+        recorder = record(lib)
+        book_recorder = record(book)
+        try:
+            with pytest.raises(FrozenElementError):
+                lib.books.remove(book)
+        finally:
+            lib.unfreeze(recursive=False)
+        assert len(recorder) == 0
+        assert len(book_recorder) == 0
