@@ -99,6 +99,32 @@ def make_sized_pim(n_classes: int, *, machines_every: int = 4,
     return factory
 
 
+def make_interacting_pim(n_classes: int, *, interactions_every: int = 8,
+                         seed: int = 11) -> ModelFactory:
+    """:func:`make_sized_pim` plus interactions: every
+    ``interactions_every``-th pair of chain-associated classes gets a
+    scenario whose messages resolve to real operations and reachable
+    triggers — the cross-diagram consistency workload, clean by
+    construction."""
+    from repro.uml.interactions import Interaction
+
+    factory = make_sized_pim(n_classes, seed=seed)
+    # exact Clazz: behaviours (state machines) subclass Clazz in UML
+    classes = [cls for cls in factory.model.all_contents()
+               if type(cls) is Clazz]
+    for index in range(0, len(classes) - 1, interactions_every):
+        caller, callee = classes[index], classes[index + 1]
+        scenario = Interaction(name=f"scenario{index}")
+        factory.model.add(scenario)
+        lc = scenario.add_lifeline("caller", caller)
+        le = scenario.add_lifeline("callee", callee)
+        scenario.add_message(lc, le, "poll")
+        if callee.classifier_behavior is not None:
+            scenario.add_message(lc, le, "work")
+            scenario.add_message(lc, le, "done")
+    return factory
+
+
 def make_task_set(n_tasks: int, utilization: float,
                   seed: int = 3) -> List[Task]:
     """A task set with the requested total utilisation (UUniFast-ish)."""

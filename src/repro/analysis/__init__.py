@@ -15,7 +15,16 @@ provides it:
   (``OCL001``–``OCL010`` via ``OCL101``–``OCL103``), state-machine
   dead code and nondeterminism (``SM001``–``SM003``), activity
   fork/join imbalance (``ACT001``–``ACT003``) and transformation rule
-  conflicts (``TR001``–``TR003``).
+  conflicts (``TR001``–``TR003``);
+* the cross-diagram **consistency** family (``XD001``–``XD007``,
+  :mod:`~repro.analysis.rules_consistency`), which checks the *set* of
+  diagrams describing one system against each other — interactions
+  against class operations and state-machine triggers (via the memoised
+  reachable-trigger analysis in :mod:`~repro.analysis.reachability`),
+  state-machine actions against class features, and multiplicities and
+  invariants for satisfiability.  Select it with
+  ``ModelLinter(families=("consistency",))`` or
+  ``Session.check(families=["consistency"])``.
 
 Typical use::
 
@@ -36,6 +45,7 @@ from .diagnostics import (
 )
 from .registry import (
     DEFAULT_REGISTRY,
+    FAMILIES,
     LintConfig,
     LintRule,
     RuleRegistry,
@@ -51,6 +61,7 @@ from .runner import (
 
 # importing the rule modules registers their rules on DEFAULT_REGISTRY
 from . import rules_activity       # noqa: E402,F401
+from . import rules_consistency    # noqa: E402,F401
 from . import rules_ocl            # noqa: E402,F401
 from . import rules_statemachine   # noqa: E402,F401
 from . import rules_transform      # noqa: E402,F401
@@ -63,6 +74,12 @@ from .rules_statemachine import (  # noqa: E402
     guards_overlap,
     reachable_vertices,
 )
+from .reachability import (  # noqa: E402
+    ReachabilitySummary,
+    compute_reachability,
+    reachability,
+    reachable_triggers,
+)
 
 __all__ = [
     "Diagnostic",
@@ -71,6 +88,7 @@ __all__ = [
     "ValidationReport",
     "model_path",
     "DEFAULT_REGISTRY",
+    "FAMILIES",
     "LintConfig",
     "LintRule",
     "RuleRegistry",
@@ -86,4 +104,8 @@ __all__ = [
     "guard_unsatisfiable",
     "guards_overlap",
     "reachable_vertices",
+    "ReachabilitySummary",
+    "compute_reachability",
+    "reachability",
+    "reachable_triggers",
 ]

@@ -16,8 +16,14 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Set
 from .diagnostics import Diagnostic, Severity
 
 #: Target kinds the runner knows how to dispatch.
-TARGETS = ("model", "statemachine", "activity", "metaclass",
-           "transformation")
+TARGETS = ("model", "statemachine", "activity", "interaction",
+           "metaclass", "transformation")
+
+#: Rule families: ``lint`` is the classic single-diagram analyses,
+#: ``consistency`` the cross-diagram ``XD`` rules.  Runners select the
+#: families to execute; :class:`LintConfig` still filters individual
+#: rules within them.
+FAMILIES = ("lint", "consistency")
 
 CheckFn = Callable[[Any, Any], Iterable[Diagnostic]]
 
@@ -33,11 +39,15 @@ class LintRule:
     severity: Severity = Severity.ERROR
     description: str = ""
     opt_in: bool = False      # excluded unless LintConfig enables it
+    family: str = "lint"      # one of FAMILIES
 
     def __post_init__(self) -> None:
         if self.target not in TARGETS:
             raise ValueError(f"unknown lint target '{self.target}' "
                              f"(expected one of {TARGETS})")
+        if self.family not in FAMILIES:
+            raise ValueError(f"unknown rule family '{self.family}' "
+                             f"(expected one of {FAMILIES})")
 
 
 @dataclass
@@ -87,11 +97,16 @@ class RuleRegistry:
         return None
 
     def rules(self, target: Optional[str] = None,
-              config: Optional[LintConfig] = None) -> List[LintRule]:
+              config: Optional[LintConfig] = None,
+              families: Optional[Iterable[str]] = None) -> List[LintRule]:
         config = config or LintConfig()
+        family_filter = None if families is None else set(families)
         selected = []
         for rule in self._rules.values():
             if target is not None and rule.target != target:
+                continue
+            if family_filter is not None \
+                    and rule.family not in family_filter:
                 continue
             if config.is_disabled(rule):
                 continue
@@ -120,6 +135,7 @@ DEFAULT_REGISTRY = RuleRegistry()
 def lint_rule(code: str, name: str, target: str, *,
               severity: Severity = Severity.ERROR,
               description: str = "", opt_in: bool = False,
+              family: str = "lint",
               registry: Optional[RuleRegistry] = None
               ) -> Callable[[CheckFn], CheckFn]:
     """Decorator: register *fn* as a lint rule and return it unchanged."""
@@ -128,6 +144,6 @@ def lint_rule(code: str, name: str, target: str, *,
             code=code, name=name, target=target, check=fn,
             severity=severity,
             description=description or (fn.__doc__ or "").strip(),
-            opt_in=opt_in))
+            opt_in=opt_in, family=family))
         return fn
     return decorate

@@ -18,6 +18,7 @@ from ..mof.kernel import Element, MetaClass
 from ..obs import metrics as _metrics
 from ..obs import trace as _trace
 from ..uml.activities import Activity
+from ..uml.interactions import Interaction
 from ..uml.statemachines import StateMachine
 from .diagnostics import Diagnostic, LintReport, Severity, model_path
 from .registry import DEFAULT_REGISTRY, LintConfig, LintRule, RuleRegistry
@@ -37,23 +38,35 @@ class LintContext:
     def diag(self, element: Any, message: str, *,
              code: Optional[str] = None,
              severity: Optional[Severity] = None,
-             hint: str = "") -> Diagnostic:
-        """Build a diagnostic defaulting to the running rule's identity."""
+             hint: str = "", related: Any = None) -> Diagnostic:
+        """Build a diagnostic defaulting to the running rule's identity.
+
+        *related* names the secondary endpoint of a cross-diagram
+        finding (e.g. the state machine a message cannot reach).
+        """
         rule = self.current_rule
         return Diagnostic(
             severity or (rule.severity if rule else Severity.ERROR),
             element, message, None,
             code or (rule.code if rule else ""),
-            path=model_path(element), hint=hint)
+            path=model_path(element), hint=hint,
+            related=related,
+            related_path=model_path(related) if related is not None else "")
 
 
 class ModelLinter:
-    """Runs every applicable registered rule over models."""
+    """Runs every applicable registered rule over models.
+
+    *families* selects the rule families to execute (default: the
+    classic single-diagram ``lint`` rules; pass ``("consistency",)`` for
+    the cross-diagram ``XD`` rules, or both for everything)."""
 
     def __init__(self, registry: Optional[RuleRegistry] = None,
-                 config: Optional[LintConfig] = None):
+                 config: Optional[LintConfig] = None,
+                 families: Iterable[str] = ("lint",)):
         self.registry = registry or DEFAULT_REGISTRY
         self.config = config or LintConfig()
+        self.families = tuple(families)
 
     # -- model lint --------------------------------------------------------
 
@@ -63,7 +76,8 @@ class ModelLinter:
             for root in roots:
                 self._lint_root(root, report)
             return report
-        with _trace.span("analysis.lint", roots=len(roots)) as sp:
+        with _trace.span("analysis.lint", roots=len(roots),
+                         families=",".join(self.families)) as sp:
             report = LintReport()
             for root in roots:
                 self._lint_root(root, report)
@@ -85,6 +99,7 @@ class ModelLinter:
         # the single walk: bucket targets by kind
         machines: List[StateMachine] = []
         activities: List[Activity] = []
+        interactions: List[Interaction] = []
         metaclasses: Dict[int, MetaClass] = {}
         count = 0
         for element in self._walk(root):
@@ -93,6 +108,8 @@ class ModelLinter:
                 machines.append(element)
             elif isinstance(element, Activity):
                 activities.append(element)
+            elif isinstance(element, Interaction):
+                interactions.append(element)
             for metaclass in ([element.meta]
                               + element.meta.all_superclasses()):
                 metaclasses.setdefault(id(metaclass), metaclass)
@@ -101,6 +118,7 @@ class ModelLinter:
         self._dispatch("model", [root], context, report)
         self._dispatch("statemachine", machines, context, report)
         self._dispatch("activity", activities, context, report)
+        self._dispatch("interaction", interactions, context, report)
         self._dispatch("metaclass", list(metaclasses.values()),
                        context, report)
 
@@ -142,7 +160,8 @@ class ModelLinter:
                   context: LintContext, report: LintReport) -> None:
         if not targets:
             return
-        for rule in self.registry.rules(target_kind, self.config):
+        for rule in self.registry.rules(target_kind, self.config,
+                                        families=self.families):
             context.current_rule = rule
             report.rules_run += 1
             for target in targets:

@@ -125,21 +125,32 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+#: rule families `python -m repro lint --families` accepts
+_LINT_FAMILIES = ("lint", "consistency")
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         for rule in sorted(DEFAULT_REGISTRY.all_rules(),
                            key=lambda r: r.code):
             print(f"{rule.code:<8}{rule.name:<28}{rule.target:<15}"
-                  f"{rule.severity.value}")
+                  f"{rule.family:<13}{rule.severity.value}")
         return 0
     if not args.model:
         print("error: a model file is required (or --list-rules)",
               file=sys.stderr)
         return 2
+    families = tuple(f.strip() for f in (args.families or "lint").split(",")
+                     if f.strip())
+    unknown = [f for f in families if f not in _LINT_FAMILIES]
+    if unknown:
+        print(f"error: unknown rule families {unknown}; expected a "
+              f"subset of {','.join(_LINT_FAMILIES)}", file=sys.stderr)
+        return 2
     config = LintConfig(disabled=set(args.disable or []),
                         enabled=set(args.enable or []))
     session = Session(load_model(args.model), lint_config=config)
-    result = session.check(families=("lint",), severity=args.severity)
+    result = session.check(families=families, severity=args.severity)
     emit_check_result(result, args)
     clean = result.ok and not (args.strict and result.warnings)
     return 0 if clean else 1
@@ -208,7 +219,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
     from .incremental import IncrementalEngine
 
     model = load_model(args.model)
-    engine = IncrementalEngine(model)
+    engine = IncrementalEngine(model, consistency=True)
     report = _watch_pass(engine, args.model)
     if args.bench:
         code = _watch_bench(engine, args.bench)
@@ -239,9 +250,9 @@ def cmd_watch(args: argparse.Namespace) -> int:
                 model = load_model(args.model)
             except Exception as exc:
                 print(f"  reload failed: {exc}")
-                engine = IncrementalEngine(model)
+                engine = IncrementalEngine(model, consistency=True)
                 continue
-            engine = IncrementalEngine(model)
+            engine = IncrementalEngine(model, consistency=True)
             report = _watch_pass(engine, args.model)
             now = {d.render() for d in report.diagnostics}
             for line in sorted(now - rendered):
@@ -573,6 +584,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="enable an opt-in rule (repeatable)")
     p.add_argument("--strict", action="store_true",
                    help="treat warnings as failures")
+    p.add_argument("--families", metavar="LIST", default="lint",
+                   help="comma-separated rule families to run: any of "
+                        "lint,consistency (default lint; consistency = "
+                        "the cross-diagram XD rules)")
     p.add_argument("--list-rules", action="store_true",
                    help="list registered rules and exit")
     p.set_defaults(fn=cmd_lint)

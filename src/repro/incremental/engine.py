@@ -158,6 +158,14 @@ class LintUnit(_Unit):
         return out
 
 
+class ConsistencyUnit(LintUnit):
+    """One (cross-diagram ``XD`` rule, target) pair — a lint unit whose
+    diagnostics report under the ``consistency`` family."""
+
+    __slots__ = ()
+    kind = "consistency"
+
+
 # ---------------------------------------------------------------------------
 # Statistics
 # ---------------------------------------------------------------------------
@@ -226,6 +234,9 @@ class IncrementalEngine:
     packages) and the lint registry.  When both well-formedness and lint
     are active, the default lint config disables the ``uml-wellformed``
     meta-rule — same de-duplication as ``validation.report.quality_report``.
+    The cross-diagram ``consistency`` family (the ``XD`` rules) is opt-in
+    via ``consistency=True`` and runs as its own unit kind, so
+    :meth:`report_by_kind` keeps the families separate.
     """
 
     def __init__(self, scope: Scope, *,
@@ -235,6 +246,7 @@ class IncrementalEngine:
                  wellformed: bool = True,
                  wellformed_rules: Optional[Iterable[Any]] = None,
                  lint: bool = True,
+                 consistency: bool = False,
                  registry: Optional[RuleRegistry] = None,
                  config: Optional[LintConfig] = None):
         self.model = self._resolve_scope(scope)
@@ -249,6 +261,7 @@ class IncrementalEngine:
         else:
             self.wellformed_rules = []
         self.lint = lint
+        self.consistency = consistency
         self.registry = registry or DEFAULT_REGISTRY
         if config is None:
             config = LintConfig(disabled={"uml-wellformed"}
@@ -368,6 +381,19 @@ class IncrementalEngine:
                     found.append(invariant)
         return found
 
+    def _target_rules(self, target_kind: str) -> List[Tuple[LintRule, type]]:
+        """(rule, unit class) pairs for the enabled rule families."""
+        specs: List[Tuple[LintRule, type]] = []
+        if self.lint:
+            for rule in self.registry.rules(target_kind, self.config,
+                                            families=("lint",)):
+                specs.append((rule, LintUnit))
+        if self.consistency:
+            for rule in self.registry.rules(target_kind, self.config,
+                                            families=("consistency",)):
+                specs.append((rule, ConsistencyUnit))
+        return specs
+
     def _add_element(self, element: Element) -> None:
         keys: List[tuple] = []
         if self.structural:
@@ -375,30 +401,32 @@ class IncrementalEngine:
         for invariant in self._element_invariants(element):
             self._add_unit(("inv", invariant, element),
                            InvariantUnit(invariant, element), keys)
-        if self.lint:
+        if self.lint or self.consistency:
             from ..uml.activities import Activity
+            from ..uml.interactions import Interaction
             from ..uml.statemachines import StateMachine
+            target_kind = None
             if isinstance(element, StateMachine):
-                for rule in self.registry.rules("statemachine", self.config):
-                    self._add_unit(
-                        ("lint", rule.name, element),
-                        LintUnit(rule, element, self.config, self.registry),
-                        keys)
+                target_kind = "statemachine"
             elif isinstance(element, Activity):
-                for rule in self.registry.rules("activity", self.config):
+                target_kind = "activity"
+            elif isinstance(element, Interaction):
+                target_kind = "interaction"
+            if target_kind is not None:
+                for rule, unit_cls in self._target_rules(target_kind):
                     self._add_unit(
                         ("lint", rule.name, element),
-                        LintUnit(rule, element, self.config, self.registry),
+                        unit_cls(rule, element, self.config, self.registry),
                         keys)
         for metaclass in [element.meta] + element.meta.all_superclasses():
             count = self._mc_counts.get(metaclass, 0)
             self._mc_counts[metaclass] = count + 1
-            if count == 0 and self.lint:
+            if count == 0 and (self.lint or self.consistency):
                 mc_keys: List[tuple] = []
-                for rule in self.registry.rules("metaclass", self.config):
+                for rule, unit_cls in self._target_rules("metaclass"):
                     self._add_unit(
                         ("lint", rule.name, metaclass),
-                        LintUnit(rule, metaclass, self.config, self.registry),
+                        unit_cls(rule, metaclass, self.config, self.registry),
                         mc_keys)
                 if mc_keys:
                     self._mc_keys[metaclass] = mc_keys
@@ -422,11 +450,10 @@ class IncrementalEngine:
             for rule in self.wellformed_rules:
                 self._add_unit(("wf", rule, root),
                                WellformedUnit(rule, root), keys)
-        if self.lint:
-            for rule in self.registry.rules("model", self.config):
-                self._add_unit(
-                    ("lint", rule.name, root),
-                    LintUnit(rule, root, self.config, self.registry), keys)
+        for rule, unit_cls in self._target_rules("model"):
+            self._add_unit(
+                ("lint", rule.name, root),
+                unit_cls(rule, root, self.config, self.registry), keys)
         self._root_keys[id(root)] = keys
 
     @staticmethod
@@ -686,7 +713,10 @@ def diagnostic_key(diagnostic: Diagnostic) -> tuple:
             diagnostic.message,
             diagnostic.path,
             feature.name if feature is not None else None,
-            diagnostic.hint)
+            diagnostic.hint,
+            id(diagnostic.related) if diagnostic.related is not None
+            else None,
+            diagnostic.related_path)
 
 
 def report_signature(report: ValidationReport) -> Counter:

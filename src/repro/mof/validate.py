@@ -52,6 +52,12 @@ class Diagnostic:
     severity, a stable rule ``code`` (e.g. ``OCL001``, ``SM003``,
     ``uml-unique-name``), the offending element plus its containment
     ``path``, the message, and an optional fix ``hint``.
+
+    Cross-diagram findings (the ``XD`` consistency rules) involve *two*
+    model locations — e.g. a message and the state machine that cannot
+    accept it.  ``related``/``related_path`` carry that secondary
+    endpoint; both default empty so single-location checkers are
+    unaffected.
     """
 
     severity: Severity
@@ -61,6 +67,8 @@ class Diagnostic:
     code: str = ""
     path: str = ""
     hint: str = ""
+    related: Any = None
+    related_path: str = ""
 
     def __str__(self) -> str:
         where = f" [{self.feature.name}]" if self.feature else ""
@@ -73,6 +81,8 @@ class Diagnostic:
         text = f"{self.severity.value}{code} {where}: {self.message}"
         if self.hint:
             text += f" (hint: {self.hint})"
+        if self.related is not None:
+            text += f" [with {self.related_path or repr(self.related)}]"
         return text
 
 

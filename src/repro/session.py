@@ -9,8 +9,9 @@ behind two verbs:
 
 * :meth:`Session.check` — run any subset of the checker *families*
   (``structural``, ``invariant``, ``wellformed``, ``lint``,
-  ``constraint``) and get one merged :class:`CheckResult` of
-  :class:`~repro.mof.validate.Diagnostic` records;
+  ``consistency``, ``constraint``) and get one merged
+  :class:`CheckResult` of :class:`~repro.mof.validate.Diagnostic`
+  records;
 * :meth:`Session.watch` — the same subset, incrementally maintained by a
   primed :class:`~repro.incremental.IncrementalEngine`.
 
@@ -43,14 +44,16 @@ from .obs import trace as _trace
 
 Scope = Union[Model, Element, Sequence[Element]]
 
-#: Every checker family, in report order.
+#: Every checker family, in report order.  ``consistency`` is the
+#: cross-diagram ``XD`` rule family (:mod:`repro.analysis.rules_consistency`).
 FAMILIES: Tuple[str, ...] = (
-    "structural", "invariant", "wellformed", "lint", "constraint")
+    "structural", "invariant", "wellformed", "lint", "consistency",
+    "constraint")
 
 #: Families run by default (``constraint`` joins when the session has
 #: constraint sets).
 DEFAULT_FAMILIES: Tuple[str, ...] = (
-    "structural", "invariant", "wellformed", "lint")
+    "structural", "invariant", "wellformed", "lint", "consistency")
 
 _SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
 
@@ -138,7 +141,7 @@ class CheckResult:
 
 
 def _diagnostic_json(diagnostic: Diagnostic) -> Dict[str, Any]:
-    return {
+    record = {
         "severity": diagnostic.severity.value,
         "code": diagnostic.code,
         "message": diagnostic.message,
@@ -146,6 +149,10 @@ def _diagnostic_json(diagnostic: Diagnostic) -> Dict[str, Any]:
         "element": repr(diagnostic.element),
         "hint": diagnostic.hint,
     }
+    if diagnostic.related is not None:
+        record["related"] = repr(diagnostic.related)
+        record["related_path"] = diagnostic.related_path
+    return record
 
 
 class Session:
@@ -189,10 +196,10 @@ class Session:
               severity: Union[str, Severity, None] = None) -> CheckResult:
         """Run the requested checker *families*; merge their diagnostics.
 
-        With ``families=None``, runs structural, invariant, wellformed
-        and lint checks — plus constraint checks when the session has
-        constraint sets.  *severity* keeps only diagnostics at or above
-        the given floor.
+        With ``families=None``, runs structural, invariant, wellformed,
+        lint and cross-diagram consistency checks — plus constraint
+        checks when the session has constraint sets.  *severity* keeps
+        only diagnostics at or above the given floor.
         """
         selected = self._resolve_families(families)
         by_family: Dict[str, List[Diagnostic]] = {}
@@ -268,6 +275,21 @@ class Session:
         linter = ModelLinter(self.registry, config)
         return list(linter.lint(*self.model.roots).diagnostics)
 
+    def _check_consistency(self) -> List[Diagnostic]:
+        linter = ModelLinter(self.registry, self.lint_config,
+                             families=("consistency",))
+        report = linter.lint(*self.model.roots)
+        if _trace.ON:
+            _metrics.REGISTRY.counter(
+                "analysis.consistency.runs",
+                help="cross-diagram consistency passes").inc()
+            for diagnostic in report.diagnostics:
+                _metrics.REGISTRY.counter(
+                    "analysis.consistency.findings",
+                    help="cross-diagram findings by code",
+                    code=diagnostic.code).inc()
+        return list(report.diagnostics)
+
     def _check_constraint(self) -> List[Diagnostic]:
         out: List[Diagnostic] = []
         scopes: List[Union[Model, Element]]
@@ -305,6 +327,7 @@ class Session:
                               if wellformed_rules is not None and wellformed
                               else None),
             lint="lint" in selected,
+            consistency="consistency" in selected,
             registry=self.registry,
             config=self.lint_config)
         engine.revalidate()

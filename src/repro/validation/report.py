@@ -83,11 +83,14 @@ def build_quality_report(root: Package, *,
         structural.extend(kinds.get("invariant", ValidationReport()))
         wellformed = kinds.get("wellformed", ValidationReport())
         lint = kinds.get("lint", ValidationReport())
+        consistency = kinds.get("consistency", ValidationReport())
     else:
         structural = validate_tree(root)
         wellformed = run_wellformed_rules(root)
         lint = ModelLinter(config=LintConfig(
             disabled={"uml-wellformed"})).lint(root)
+        consistency = ModelLinter(
+            families=("consistency",)).lint(root)
 
     report.sections.append(SectionResult(
         "structural validity", structural.ok,
@@ -106,6 +109,14 @@ def build_quality_report(root: Package, *,
         "static analysis (lint)", lint.ok,
         lines or [lint.summary() if hasattr(lint, "summary")
                   else "no findings"]))
+
+    # cross-diagram consistency: interactions vs class model vs state
+    # machines (the XD rule family)
+    lines = [d.render() for d in consistency.errors]
+    lines += [d.render() for d in consistency.warnings]
+    report.sections.append(SectionResult(
+        "cross-diagram consistency", consistency.ok,
+        lines or ["no findings"]))
 
     metrics = compute_model_metrics(root)
     metric_ok = (metrics.coupling_density <= max_coupling_density
