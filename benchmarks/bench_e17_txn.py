@@ -21,7 +21,7 @@ Set ``REPRO_BENCH_QUICK=1`` (CI smoke) to run a reduced round count.
 import os
 import time
 
-from modelgen import EditFuzzer, demo_generator, demo_package
+from repro.generate import EditFuzzer, demo_generator, demo_package
 from repro import faults
 from repro.mof import compare, transaction
 from repro.mof.repository import Model

@@ -9,6 +9,7 @@
     python -m repro check     model.xmi --platform posix
     python -m repro transform model.xmi --platform posix -o psm.xmi
     python -m repro generate  psm.xmi --lang c -o out/
+    python -m repro generate  --size 10000 --seed 0 --repair -o corpus.xmi
     python -m repro schedule  model.xmi
     python -m repro diff      a.xmi b.xmi
     python -m repro convert   model.xmi -o model.json
@@ -76,9 +77,12 @@ def load_model(path: str) -> MofModel:
     Goes through :mod:`repro.xmi.persist`, so digest-sealed files are
     verified and truncated/garbled input raises a recoverable
     :class:`~repro.xmi.CorruptModelError` (exit code 2 at the top
-    level, with the ``.bak`` recovery hint in the message).
+    level, with the ``.bak`` recovery hint in the message).  Both UML
+    models and ``repro generate`` demo corpora resolve.
     """
-    return _persist.load_model(path, [UML], profiles=ALL_PROFILES)
+    from .generate import demo_package
+    return _persist.load_model(path, [UML, demo_package()],
+                               profiles=ALL_PROFILES)
 
 
 def save_model(model: MofModel, path: str) -> None:
@@ -310,7 +314,62 @@ def cmd_transform(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_generate_corpus(args: argparse.Namespace) -> int:
+    """The model-generation mode of ``repro generate`` (``--size``)."""
+    import json as _json
+
+    from .generate import generate_model
+
+    if args.model:
+        print("error: --size generates a fresh model; drop the MODEL "
+              "argument (it belongs to PSM->code generation)",
+              file=sys.stderr)
+        return 2
+    if args.lang:
+        print("error: --lang belongs to PSM->code generation and "
+              "cannot be combined with --size", file=sys.stderr)
+        return 2
+    result = generate_model(
+        args.package, size=args.size, seed=args.seed,
+        repair=args.repair, directed=args.directed)
+    fmt = args.format
+    if fmt is None:
+        fmt = ("json" if args.output and args.output.endswith(".json")
+               else "xmi")
+    to_stdout = not args.output
+    summary_stream = sys.stderr if to_stdout else sys.stdout
+    print(result.summary(), file=summary_stream)
+    print(result.coverage_report().render(), file=summary_stream)
+    if args.coverage_report:
+        with open(args.coverage_report, "w", encoding="utf-8") as handle:
+            _json.dump(result.coverage_report().to_json(), handle,
+                       indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote coverage report {args.coverage_report}",
+              file=summary_stream)
+    if to_stdout:
+        sys.stdout.write(_persist.serialize_model(result.model, format=fmt))
+    else:
+        _persist.save_model(result.model, args.output,
+                            format="json" if fmt == "json" else "xml")
+        print(f"wrote {args.output}", file=summary_stream)
+    if args.repair and result.repair is not None \
+            and not result.repair.converged:
+        print(f"error: repair did not converge "
+              f"({len(result.repair.remaining)} error(s) remain)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_generate(args: argparse.Namespace) -> int:
+    if args.size is not None:
+        return _cmd_generate_corpus(args)
+    if not args.model or not args.lang or not args.output:
+        print("error: PSM->code generation needs MODEL, --lang and "
+              "-o OUTPUT (or pass --size N to generate a model corpus)",
+              file=sys.stderr)
+        return 2
     model = load_model(args.model)
     generator = GENERATORS[args.lang]
     os.makedirs(args.output, exist_ok=True)
@@ -641,12 +700,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(fn=cmd_transform)
 
-    p = sub.add_parser("generate", help="PSM -> source code",
-                       parents=[trace_parent])
-    p.add_argument("model")
-    p.add_argument("--lang", required=True, choices=sorted(GENERATORS))
-    p.add_argument("-o", "--output", required=True,
-                   help="output directory")
+    p = sub.add_parser(
+        "generate",
+        help="PSM -> source code, or (with --size) a seeded model corpus",
+        parents=[trace_parent],
+        description="Two modes.  PSM -> code: `repro generate MODEL "
+                    "--lang c -o DIR`.  Model corpus: `repro generate "
+                    "--size N [--seed S] [--package demo|uml] "
+                    "[--repair] [--directed] [-o FILE]` generates a "
+                    "seeded random model (constraint-repaired to zero "
+                    "error diagnostics with --repair) and writes "
+                    "digest-sealed XMI or JSON to FILE or stdout.",
+        epilog="exit codes: 0 = generated, 1 = --repair did not "
+               "converge, 2 = usage/load error")
+    p.add_argument("model", nargs="?",
+                   help="PSM model file (codegen mode only)")
+    p.add_argument("--lang", choices=sorted(GENERATORS),
+                   help="target language (codegen mode)")
+    p.add_argument("-o", "--output",
+                   help="output directory (codegen) or model file "
+                        "(--size mode; default stdout)")
+    p.add_argument("--size", type=int, metavar="N",
+                   help="generate a fresh seeded model of ~N elements "
+                        "instead of code")
+    p.add_argument("--seed", type=int, default=0,
+                   help="generation seed (default 0); the same "
+                        "(--package, --size, --seed) reproduces the "
+                        "model byte-identically")
+    p.add_argument("--package", choices=("demo", "uml"), default="demo",
+                   help="generation profile (default demo: the genlib "
+                        "metamodel with registered OCL invariants)")
+    p.add_argument("--repair", action="store_true",
+                   help="run the constraint-guided repair loop until "
+                        "Session.check reports zero errors")
+    p.add_argument("--directed", action="store_true",
+                   help="coverage-directed generation (steer toward "
+                        "uncovered metaclasses/ends/branches)")
+    p.add_argument("--coverage-report", metavar="FILE",
+                   help="also write the coverage report as JSON to FILE")
+    p.add_argument("--format", choices=("xmi", "json"),
+                   help="serialization format in --size mode "
+                        "(default: from -o extension, else xmi)")
     p.set_defaults(fn=cmd_generate)
 
     p = sub.add_parser("schedule", help="SPT schedulability analysis",

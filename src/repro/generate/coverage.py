@@ -1,0 +1,379 @@
+"""Coverage instrumentation and coverage-directed generation.
+
+Generated corpora are only as useful as the variety they exercise.  This
+module makes that variety *measurable* and then *steerable*:
+
+* :class:`CoverageMap` enumerates, from a generator's metamodel slice,
+  every target a corpus could exercise — each concrete **metaclass**,
+  each **association end** (non-derived reference feature reachable
+  during generation), and each **decision branch** of the registered
+  compiled-OCL invariants (``and``/``or``/``implies``/``xor`` operands
+  and ``if`` conditions, each with a true and a false outcome).  Branch
+  targets are enumerable because every invariant keeps its parsed AST
+  and the compiler's node cache makes compiling a decision sub-expression
+  against the invariant's context metaclass essentially free.
+* :class:`DirectedGenerator` biases the base generator's two choice
+  points (which containment slot to grow, which metaclass to
+  instantiate) toward still-uncovered targets, and opens its reference
+  sprinkling with one deliberate link per uncovered end — reaching full
+  metaclass + end coverage in far fewer elements than blind random
+  generation (benchmark E19 holds the inequality).
+
+Coverage recording happens inline while the generator runs (the base
+:class:`~repro.generate.random.ModelGenerator` calls back into an
+attached map); :meth:`CoverageMap.measure` additionally scores any
+finished model post-hoc, which is how branch outcomes are collected.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..mof import Attribute, Element, MetaClass, MInteger, MReal, Reference
+from ..ocl.ast import BinOp, If, Node
+from ..ocl.compile import compile_expression
+from ..ocl.evaluator import Environment
+from .random import ModelGenerator
+
+#: binary operators whose right operand is conditionally evaluated —
+#: each contributes one two-outcome decision (its *left* operand)
+_DECISION_OPS = ("and", "or", "implies", "xor")
+
+
+def _walk(node: Any) -> Iterable[Node]:
+    """Pre-order walk over an OCL AST (dataclass field order)."""
+    if not isinstance(node, Node):
+        return
+    yield node
+    for name in node.__dataclass_fields__:
+        if name == "position":
+            continue
+        value = getattr(node, name)
+        if isinstance(value, Node):
+            yield from _walk(value)
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, Node):
+                    yield from _walk(item)
+                elif isinstance(item, tuple):
+                    for sub in item:
+                        yield from _walk(sub)
+
+
+def decision_nodes(ast: Node) -> List[Node]:
+    """The decision sub-expressions of *ast*, in pre-order.
+
+    One entry per short-circuit operand / ``if`` condition; evaluating
+    the returned sub-expression against an instance tells which branch
+    that instance drives the invariant down.
+    """
+    decisions: List[Node] = []
+    for node in _walk(ast):
+        if isinstance(node, BinOp) and node.op in _DECISION_OPS:
+            decisions.append(node.left)
+        elif isinstance(node, If):
+            decisions.append(node.condition)
+    return decisions
+
+
+class CoverageMap:
+    """Tracks which generation targets a corpus has exercised.
+
+    Built from a :class:`~repro.generate.random.ModelGenerator` so the
+    target universe matches exactly what that generator *could* produce:
+    its concrete metaclasses, the reference features reachable from
+    them, and the decision branches of every invariant registered on
+    them (or their superclasses).
+    """
+
+    def __init__(self, generator: ModelGenerator):
+        self.generator = generator
+        self.metaclass_targets: Dict[int, str] = {}
+        self.end_targets: Dict[int, str] = {}
+        self.branch_targets: Dict[str, Tuple[Any, Node]] = {}
+        self._covered_metaclasses: Set[int] = set()
+        self._covered_ends: Set[int] = set()
+        self._covered_branches: Set[str] = set()
+        # per-metaclass invariant decisions: [(branch key stem, closure)]
+        self._decisions: Dict[int, List[Tuple[str, Any]]] = {}
+        # one base Environment per scored root — building it walks the
+        # whole tree, so per-element construction would be O(n^2)
+        self._env_root: Optional[Element] = None
+        self._env: Optional[Environment] = None
+        self._enumerate_targets()
+
+    # -- target enumeration ------------------------------------------------
+
+    def _enumerate_targets(self) -> None:
+        generator = self.generator
+        allowed = list(generator.classes)
+        for metaclass in allowed:
+            self.metaclass_targets[id(metaclass)] = metaclass.name
+        # containment ends reachable while growing
+        for slots in generator.containments.values():
+            for feature, _targets in slots:
+                self.end_targets.setdefault(
+                    id(feature), _end_label(feature))
+        # cross-reference ends reachable while sprinkling
+        for metaclass in allowed:
+            for feature in generator.cross_reference_features(metaclass):
+                if any(c.conforms_to(feature.target) for c in allowed):
+                    self.end_targets.setdefault(
+                        id(feature), _end_label(feature))
+        # invariant decision branches, compiled against their context
+        seen_invariants: Set[int] = set()
+        for metaclass in allowed:
+            chain = [metaclass] + metaclass.all_superclasses()
+            decisions: List[Tuple[str, Any]] = []
+            for owner in chain:
+                for invariant in owner.invariants:
+                    stem = f"{owner.name}::{invariant.name}"
+                    for index, decision in enumerate(
+                            decision_nodes(invariant.ast)):
+                        key = f"{stem}#{index}"
+                        if id(invariant) not in seen_invariants:
+                            self.branch_targets[f"{key}:true"] = \
+                                (invariant, decision)
+                            self.branch_targets[f"{key}:false"] = \
+                                (invariant, decision)
+                        closure = compile_expression(
+                            decision, context=invariant.context)
+                        decisions.append((key, closure))
+                    seen_invariants.add(id(invariant))
+            if decisions:
+                self._decisions[id(metaclass)] = decisions
+
+    # -- recording ---------------------------------------------------------
+
+    def record_metaclass(self, metaclass: MetaClass) -> None:
+        self._covered_metaclasses.add(id(metaclass))
+
+    def record_end(self, feature: Reference) -> None:
+        self._covered_ends.add(id(feature))
+
+    def record_branches(self, element: Element) -> None:
+        """Evaluate the element's invariant decisions, marking outcomes.
+
+        Decisions that raise (undefined navigation, null arithmetic)
+        cover nothing — only a decided ``true``/``false`` counts.
+        """
+        decisions = self._decisions.get(id(element.meta))
+        if not decisions:
+            return
+        root = element.root()
+        if self._env is None or self._env_root is not root:
+            self._env_root = root
+            self._env = Environment.for_model(root)
+        env = self._env.child()
+        env.define("self", element)
+        for key, closure in decisions:
+            try:
+                value = closure(env)
+            except Exception:
+                continue
+            if value is True:
+                self._covered_branches.add(f"{key}:true")
+            elif value is False:
+                self._covered_branches.add(f"{key}:false")
+
+    def measure(self, root: Element) -> "CoverageMap":
+        """Score a finished model post-hoc: every element counts toward
+        metaclass coverage, every populated reference toward end
+        coverage, and every decidable invariant decision toward branch
+        coverage.  Returns self for chaining."""
+        for element in [root] + list(root.all_contents()):
+            if id(element.meta) in self.metaclass_targets:
+                self.record_metaclass(element.meta)
+            for feature in element.meta.all_features().values():
+                if id(feature) not in self.end_targets:
+                    continue
+                value = element.eget(feature.name)
+                count = (len(value) if feature.many
+                         else (0 if value is None else 1))
+                if count:
+                    self.record_end(feature)
+            self.record_branches(element)
+        return self
+
+    # -- reporting ---------------------------------------------------------
+
+    def uncovered_metaclasses(self) -> List[str]:
+        return sorted(name for key, name in self.metaclass_targets.items()
+                      if key not in self._covered_metaclasses)
+
+    def uncovered_ends(self) -> List[str]:
+        return sorted(label for key, label in self.end_targets.items()
+                      if key not in self._covered_ends)
+
+    def uncovered_branches(self) -> List[str]:
+        return sorted(key for key in self.branch_targets
+                      if key not in self._covered_branches)
+
+    @property
+    def structural_complete(self) -> bool:
+        """Full metaclass *and* association-end coverage."""
+        return (len(self._covered_metaclasses)
+                == len(self.metaclass_targets)
+                and len(self._covered_ends) == len(self.end_targets))
+
+    def report(self) -> "CoverageReport":
+        return CoverageReport(
+            metaclasses=(len(self._covered_metaclasses),
+                         len(self.metaclass_targets)),
+            ends=(len(self._covered_ends), len(self.end_targets)),
+            branches=(len(self._covered_branches),
+                      len(self.branch_targets)),
+            uncovered_metaclasses=self.uncovered_metaclasses(),
+            uncovered_ends=self.uncovered_ends(),
+            uncovered_branches=self.uncovered_branches())
+
+
+def _end_label(feature: Reference) -> str:
+    owner = getattr(feature, "owner", None)
+    owner_name = owner.name if owner is not None else "?"
+    return f"{owner_name}.{feature.name}"
+
+
+class CoverageReport:
+    """An immutable snapshot of a :class:`CoverageMap`."""
+
+    def __init__(self, *, metaclasses: Tuple[int, int],
+                 ends: Tuple[int, int], branches: Tuple[int, int],
+                 uncovered_metaclasses: List[str],
+                 uncovered_ends: List[str],
+                 uncovered_branches: List[str]):
+        self.metaclasses = metaclasses
+        self.ends = ends
+        self.branches = branches
+        self.uncovered_metaclasses = uncovered_metaclasses
+        self.uncovered_ends = uncovered_ends
+        self.uncovered_branches = uncovered_branches
+
+    @staticmethod
+    def _fraction(pair: Tuple[int, int]) -> float:
+        covered, total = pair
+        return covered / total if total else 1.0
+
+    @property
+    def metaclass_fraction(self) -> float:
+        return self._fraction(self.metaclasses)
+
+    @property
+    def end_fraction(self) -> float:
+        return self._fraction(self.ends)
+
+    @property
+    def branch_fraction(self) -> float:
+        return self._fraction(self.branches)
+
+    @property
+    def structural_complete(self) -> bool:
+        return (self.metaclasses[0] == self.metaclasses[1]
+                and self.ends[0] == self.ends[1])
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "metaclasses": {"covered": self.metaclasses[0],
+                            "total": self.metaclasses[1],
+                            "uncovered": self.uncovered_metaclasses},
+            "ends": {"covered": self.ends[0], "total": self.ends[1],
+                     "uncovered": self.uncovered_ends},
+            "branches": {"covered": self.branches[0],
+                         "total": self.branches[1],
+                         "uncovered": self.uncovered_branches},
+            "structural_complete": self.structural_complete,
+        }
+
+    def render(self) -> str:
+        lines = []
+        for kind, pair in (("metaclasses", self.metaclasses),
+                           ("association ends", self.ends),
+                           ("invariant branches", self.branches)):
+            covered, total = pair
+            pct = 100.0 * (covered / total if total else 1.0)
+            lines.append(f"  {kind:<18} {covered:>4}/{total:<4} "
+                         f"({pct:5.1f}%)")
+        return "coverage:\n" + "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<CoverageReport metaclasses={self.metaclasses} "
+                f"ends={self.ends} branches={self.branches}>")
+
+
+# ---------------------------------------------------------------------------
+# Coverage-directed generation
+# ---------------------------------------------------------------------------
+
+class DirectedGenerator(ModelGenerator):
+    """A generator that steers toward uncovered coverage targets.
+
+    The two base-class choice points become preference-weighted: slots
+    whose feature end or instantiable targets are still uncovered win
+    over already-exercised ones, and uncovered metaclasses win within a
+    slot.  Reference sprinkling first places one deliberate link per
+    still-uncovered cross-reference end, then falls through to the
+    random sprinkle.  Attribute values occasionally take boundary
+    values, which flips comparison-shaped invariant branches more often
+    than the plain distribution does.
+    """
+
+    #: chance an attribute draw is replaced by a boundary value
+    BOUNDARY_PROBABILITY = 0.25
+    _BOUNDARY_INTS = (-1, 0, 1)
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.coverage = CoverageMap(self)
+
+    # -- directed choice points --------------------------------------------
+
+    def _choose_slot(self, parent: Element,
+                     slots: List[Tuple[Reference, List[MetaClass]]]
+                     ) -> Tuple[Reference, List[MetaClass]]:
+        covered_ends = self.coverage._covered_ends
+        covered_classes = self.coverage._covered_metaclasses
+        preferred = [
+            (feature, targets) for feature, targets in slots
+            if id(feature) not in covered_ends
+            or any(id(t) not in covered_classes for t in targets)]
+        return self.rng.choice(preferred or slots)
+
+    def _choose_target(self, feature: Reference,
+                       targets: List[MetaClass]) -> MetaClass:
+        covered = self.coverage._covered_metaclasses
+        preferred = [t for t in targets if id(t) not in covered]
+        return self.rng.choice(preferred or targets)
+
+    def attribute_value(self, feature: Attribute) -> Any:
+        if (feature.type in (MInteger, MReal)
+                and self.rng.random() < self.BOUNDARY_PROBABILITY):
+            value = self.rng.choice(self._BOUNDARY_INTS)
+            return float(value) if feature.type is MReal else value
+        return super().attribute_value(feature)
+
+    # -- directed sprinkling -----------------------------------------------
+
+    def sprinkle_references(self, elements: Any) -> None:
+        self._cover_remaining_ends(list(elements))
+        super().sprinkle_references(elements)
+
+    def _cover_remaining_ends(self, elements: List[Element]) -> None:
+        """One deliberate link per still-uncovered cross-reference end."""
+        covered = self.coverage._covered_ends
+        by_meta: Dict[int, List[Element]] = {}
+        for element in elements:
+            by_meta.setdefault(id(element.meta), []).append(element)
+        for metaclass in self.classes:
+            for feature in self.cross_reference_features(metaclass):
+                if (id(feature) in covered
+                        or id(feature) not in self.coverage.end_targets):
+                    continue
+                owners = [e for e in elements
+                          if e.meta.conforms_to(metaclass)
+                          and feature.name in e.meta.all_features()]
+                candidates = [c for c in elements
+                              if c.meta.conforms_to(feature.target)]
+                if not owners or not candidates:
+                    continue
+                self._link(self.rng.choice(owners), feature,
+                           self.rng.choice(candidates))

@@ -1,0 +1,555 @@
+"""Constraint-guided repair: edit a model until the checkers accept it.
+
+Random generation respects everything the kernel enforces eagerly (type
+conformance, upper bounds, single container) but cannot, by
+construction, decide whole-model properties: lower multiplicity bounds,
+OCL invariants, well-formedness and cross-diagram consistency.  The
+repair loop closes that gap the way the UML-semantics literature frames
+well-formedness — as the *generation target*, not an afterthought:
+
+1. run the session's check families (the same compiled-OCL evaluator
+   and Fourier–Motzkin-backed consistency rules every other caller
+   uses) over the model;
+2. map each error-severity diagnostic class to a targeted edit —
+   **fill** unsatisfied lower bounds (add missing ends / attribute
+   values), **retype** literals mentioned by a violated invariant,
+   **prune** infeasible links or irreparable elements;
+3. repeat until :meth:`~repro.session.Session.check` reports zero
+   errors or the iteration budget is exhausted.
+
+Invariant repair is a seeded bounded hill-climb: the violated
+invariant's AST names the features it reads (``Ident``/``Nav`` walks
+against the context metaclass), and each try mutates one of them —
+re-evaluating ``invariant.holds`` after every edit, so the loop stops at
+the first satisfying assignment.  Every edit is recorded, making repair
+replayable and explainable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
+
+from ..mof import Attribute, Element, Reference
+from ..mof.validate import Diagnostic, model_path
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
+from ..session import Session
+from .coverage import _walk
+from .random import _MUTATION_ERRORS, ModelGenerator
+
+from ..ocl.ast import Ident, Nav
+
+
+class RepairEdit:
+    """One applied repair action (for replay and reporting)."""
+
+    __slots__ = ("action", "code", "path", "detail")
+
+    def __init__(self, action: str, code: str, path: str, detail: str):
+        self.action = action     # fill | retype | prune | rename | resync
+        self.code = code         # diagnostic code that triggered it
+        self.path = path
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return (f"<RepairEdit {self.action} [{self.code}] "
+                f"{self.path}: {self.detail}>")
+
+
+class RepairReport:
+    """The outcome of one :meth:`RepairEngine.repair` run."""
+
+    def __init__(self, *, converged: bool, iterations: int,
+                 edits: List[RepairEdit],
+                 initial_errors: int,
+                 remaining: List[Diagnostic]):
+        self.converged = converged
+        self.iterations = iterations
+        self.edits = edits
+        self.initial_errors = initial_errors
+        self.remaining = remaining
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "converged": self.converged,
+            "iterations": self.iterations,
+            "initial_errors": self.initial_errors,
+            "remaining_errors": len(self.remaining),
+            "edits": [{"action": e.action, "code": e.code,
+                       "path": e.path, "detail": e.detail}
+                      for e in self.edits],
+        }
+
+    def render(self) -> str:
+        state = "converged" if self.converged else "budget exhausted"
+        return (f"repair: {state} after {self.iterations} iteration(s), "
+                f"{len(self.edits)} edit(s), "
+                f"{self.initial_errors} -> {len(self.remaining)} error(s)")
+
+    def __repr__(self) -> str:
+        return (f"<RepairReport converged={self.converged} "
+                f"iterations={self.iterations} edits={len(self.edits)}>")
+
+
+class RepairEngine:
+    """Drives a model to zero error diagnostics under a bounded budget.
+
+    *session* supplies the check families (defaults: the
+    :class:`~repro.session.Session` defaults, consistency included);
+    *generator* supplies conforming values/children for **fill** edits
+    (falling back to feature defaults when absent).  All randomness is
+    seeded, so a repair run replays exactly.
+    """
+
+    def __init__(self, session: Union[Session, Any], *,
+                 generator: Optional[ModelGenerator] = None,
+                 seed: int = 0,
+                 families: Optional[Tuple[str, ...]] = None,
+                 max_iterations: int = 10,
+                 invariant_tries: int = 12):
+        if not isinstance(session, Session):
+            session = Session(session)
+        self.session = session
+        self.generator = generator
+        self.rng = random.Random(seed)
+        self.families = families
+        self.max_iterations = max_iterations
+        self.invariant_tries = invariant_tries
+        self.edits: List[RepairEdit] = []
+        self._rename_counter = 0
+
+    # -- the loop ----------------------------------------------------------
+
+    def repair(self) -> RepairReport:
+        with (_trace.span("generate.repair") if _trace.ON
+              else _trace.NULL_SPAN):
+            report = self._repair_impl()
+        if _trace.ON:
+            _metrics.REGISTRY.counter(
+                "generate.repair.runs",
+                help="repair-loop runs by outcome",
+                converged=str(report.converged).lower()).inc()
+            _metrics.REGISTRY.counter(
+                "generate.repair.edits",
+                help="repair edits applied, by action").inc(
+                    len(report.edits))
+        return report
+
+    def _repair_impl(self) -> RepairReport:
+        initial_errors = -1
+        iterations = 0
+        for iteration in range(self.max_iterations):
+            errors = self.session.check(self.families).errors
+            if initial_errors < 0:
+                initial_errors = len(errors)
+            if not errors:
+                return RepairReport(
+                    converged=True, iterations=iterations,
+                    edits=self.edits, initial_errors=initial_errors,
+                    remaining=[])
+            iterations = iteration + 1
+            # one (element, invariant) repair per iteration — several
+            # diagnostics may name the same pair
+            seen_invariants: Set[Tuple[int, int]] = set()
+            applied = 0
+            for diagnostic in errors:
+                applied += self._dispatch(diagnostic, seen_invariants)
+            # pruning deletes subtrees; incoming cross-references from
+            # the rest of the model now dangle (the kernel only unlinks
+            # the deleted element's *own* features).  Scrub them so the
+            # in-memory corpus equals its serialization.
+            self._scrub_dangling_references()
+            if not applied:
+                break                 # no handler made progress; stop
+        remaining = self.session.check(self.families).errors
+        if initial_errors < 0:
+            initial_errors = len(remaining)
+        return RepairReport(
+            converged=not remaining, iterations=iterations,
+            edits=self.edits, initial_errors=initial_errors,
+            remaining=remaining)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch(self, diagnostic: Diagnostic,
+                  seen_invariants: Set[Tuple[int, int]]) -> int:
+        element = diagnostic.element
+        if not isinstance(element, Element):
+            return 0
+        code = diagnostic.code
+        if code == "multiplicity":
+            return self._fix_multiplicity(element, diagnostic)
+        if code in ("invariant", "invariant-error"):
+            return self._fix_invariants(element, seen_invariants)
+        if code == "opposite" and diagnostic.feature is not None:
+            return self._fix_opposite(element, diagnostic)
+        return self._fix_generic(element, diagnostic)
+
+    def _record(self, action: str, code: str, element: Element,
+                detail: str) -> int:
+        self.edits.append(
+            RepairEdit(action, code, model_path(element), detail))
+        return 1
+
+    # -- multiplicity: fill missing ends ----------------------------------
+
+    def _fix_multiplicity(self, element: Element,
+                          diagnostic: Diagnostic) -> int:
+        feature = diagnostic.feature
+        if feature is None:
+            return 0
+        value = element.eget(feature.name)
+        count = len(value) if feature.many else (0 if value is None else 1)
+        lower = feature.multiplicity.lower
+        upper = feature.multiplicity.upper
+        applied = 0
+        if upper is not None and count > upper and feature.many:
+            # cannot normally happen (the kernel enforces upper bounds
+            # eagerly) but deserializers may hand us anything: prune
+            slot = element.eget(feature.name)
+            while len(slot) > upper:
+                victim = slot[-1]
+                try:
+                    slot.remove(victim)
+                except _MUTATION_ERRORS:
+                    break
+                applied += self._record(
+                    "prune", "multiplicity", element,
+                    f"removed excess value from {feature.name}")
+            return applied
+        while count < lower:
+            if not self._fill_feature(element, feature):
+                break
+            count += 1
+            applied += self._record(
+                "fill", "multiplicity", element,
+                f"added value to {feature.name} "
+                f"[{feature.multiplicity}]")
+        if not applied and element.container is not None:
+            # unfillable bound (no conforming target): prune the element
+            element.delete()
+            applied = self._record(
+                "prune", "multiplicity", element,
+                f"deleted element with unfillable {feature.name}")
+        return applied
+
+    def _fill_feature(self, element: Element, feature: Any) -> bool:
+        if isinstance(feature, Attribute):
+            value = (self.generator.attribute_value(feature)
+                     if self.generator is not None
+                     else feature.default_value())
+            if value is None:
+                value = _fallback_value(feature)
+            try:
+                if feature.many:
+                    element.eget(feature.name).append(value)
+                else:
+                    element.eset(feature.name, value)
+            except _MUTATION_ERRORS:
+                return False
+            return True
+        if not isinstance(feature, Reference):
+            return False
+        target = self._find_or_make_target(element, feature)
+        if target is None:
+            return False
+        try:
+            if feature.many:
+                slot = element.eget(feature.name)
+                if target in slot:
+                    return False
+                slot.append(target)
+            else:
+                element.eset(feature.name, target)
+        except _MUTATION_ERRORS:
+            return False
+        return True
+
+    def _find_or_make_target(self, element: Element,
+                             feature: Reference) -> Optional[Element]:
+        if feature.containment:
+            if self.generator is not None:
+                candidates = [c for c in self.generator.classes
+                              if c.conforms_to(feature.target)]
+            else:
+                candidates = [c for c in [feature.target]
+                              + feature.target.all_subclasses()
+                              if not c.abstract]
+            if not candidates:
+                return None
+            metaclass = self.rng.choice(candidates)
+            return (self.generator.instantiate(metaclass)
+                    if self.generator is not None
+                    else metaclass.instantiate())
+        try:
+            opposite = feature.opposite
+        except Exception:
+            opposite = None
+        if opposite is not None and opposite.containment:
+            return None               # linking would reparent the target
+        pool = [c for c in self.session.model.all_elements()
+                if c.meta.conforms_to(feature.target) and c is not element]
+        return self.rng.choice(pool) if pool else None
+
+    # -- invariants: retype literals / prune links -------------------------
+
+    def _fix_invariants(self, element: Element,
+                        seen: Set[Tuple[int, int]]) -> int:
+        applied = 0
+        for metaclass in [element.meta] + element.meta.all_superclasses():
+            for invariant in metaclass.invariants:
+                key = (id(element), id(invariant))
+                if key in seen:
+                    continue
+                seen.add(key)
+                if not _holds_quietly(invariant, element):
+                    applied += self._fix_one_invariant(element, invariant)
+        return applied
+
+    def _fix_one_invariant(self, element: Element, invariant: Any) -> int:
+        features = _mentioned_features(invariant, element)
+        # try attribute retypes before reference prunes: a satisfying
+        # literal keeps the corpus's elements, pruning throws them away
+        attributes = [f for f in features if isinstance(f, Attribute)]
+        applied = 0
+        for attempt in range(self.invariant_tries):
+            if _holds_quietly(invariant, element):
+                break
+            if not features:
+                break
+            if attempt < 2 and attributes:
+                feature = attributes[attempt % len(attributes)]
+            else:
+                feature = self.rng.choice(features)
+            if isinstance(feature, Attribute):
+                applied += self._retype_attribute(
+                    element, feature, invariant, attempt)
+            else:
+                applied += self._prune_reference(
+                    element, feature, invariant)
+        if applied and _holds_quietly(invariant, element):
+            return applied
+        if applied:
+            return applied            # partial progress still counts
+        # nothing mentioned was editable: prune the element itself
+        if element.container is not None:
+            element.delete()
+            return self._record(
+                "prune", "invariant", element,
+                f"deleted element violating '{invariant.name}'")
+        return 0
+
+    def _retype_attribute(self, element: Element, feature: Attribute,
+                          invariant: Any, attempt: int) -> int:
+        # first try an *informed* value (numeric bounds against mentioned
+        # collections — e.g. a capacity checked with ``->size() <=``
+        # becomes the collection's actual size), then the declared
+        # default (metamodels pick satisfying defaults), then seeded
+        # random draws
+        value = None
+        if attempt == 0:
+            value = self._informed_value(element, feature, invariant)
+        if value is None and attempt <= 1 \
+                and feature.default_value() is not None:
+            value = feature.default_value()
+        if value is None and self.generator is not None:
+            value = self.generator.attribute_value(feature)
+        if value is None:
+            value = _fallback_value(feature)
+        try:
+            if feature.many:
+                slot = element.eget(feature.name)
+                if len(slot):
+                    slot.remove(slot[-1])
+                else:
+                    slot.append(value)
+            else:
+                element.eset(feature.name, value)
+        except _MUTATION_ERRORS:
+            return 0
+        return self._record(
+            "retype", "invariant", element,
+            f"set {feature.name}={value!r} for '{invariant.name}'")
+
+    def _informed_value(self, element: Element, feature: Attribute,
+                        invariant: Any) -> Optional[int]:
+        """A candidate for a numeric attribute derived from the violated
+        invariant: the largest size among the many-valued features the
+        same invariant reads (``x->size() <= self.cap`` ⇒ cap = size)."""
+        from ..mof import MInteger, MReal
+        if feature.type is not MInteger and feature.type is not MReal:
+            return None
+        sizes = []
+        for other in _mentioned_features(invariant, element):
+            if other is feature or not other.many:
+                continue
+            try:
+                sizes.append(len(element.eget(other.name)))
+            except Exception:
+                continue
+        if not sizes:
+            return None
+        value = max(sizes)
+        return float(value) if feature.type is MReal else value
+
+    def _prune_reference(self, element: Element, feature: Reference,
+                         invariant: Any) -> int:
+        try:
+            value = element.eget(feature.name)
+            if feature.many:
+                # a collection bound (e.g. ``->size() <= cap``) may be
+                # exceeded by far more than one: keep pruning until the
+                # invariant holds, not one link per repair iteration
+                removed = 0
+                while len(value) and not _holds_quietly(invariant, element):
+                    victim = value[-1]
+                    if feature.containment:
+                        victim.delete()
+                    else:
+                        value.remove(victim)
+                    removed += 1
+                if not removed:
+                    return 0
+                return self._record(
+                    "prune", "invariant", element,
+                    f"removed {removed} link(s) from {feature.name} "
+                    f"for '{invariant.name}'")
+            if value is None:
+                return 0
+            element.eset(feature.name, None)
+        except _MUTATION_ERRORS:
+            return 0
+        return self._record(
+            "prune", "invariant", element,
+            f"removed link {feature.name} for '{invariant.name}'")
+
+    # -- dangling cross-references after deletes ---------------------------
+
+    def _scrub_dangling_references(self) -> int:
+        applied = 0
+        trees = []
+        in_tree = set()
+        for root in self.session.model.roots:
+            tree = [root] + list(root.all_contents())
+            trees.append(tree)
+            in_tree.update(id(element) for element in tree)
+        for tree in trees:
+            for element in tree:
+                for feature in element.meta.all_features().values():
+                    if (not isinstance(feature, Reference)
+                            or feature.containment or feature.derived):
+                        continue
+                    try:
+                        value = element.eget(feature.name)
+                        if feature.many:
+                            stale = [t for t in list(value)
+                                     if id(t) not in in_tree]
+                            for target in stale:
+                                value.remove(target)
+                                applied += self._record(
+                                    "prune", "dangling", element,
+                                    f"unlinked deleted target from "
+                                    f"{feature.name}")
+                        elif (value is not None
+                              and id(value) not in in_tree):
+                            element.eset(feature.name, None)
+                            applied += self._record(
+                                "prune", "dangling", element,
+                                f"unlinked deleted target from "
+                                f"{feature.name}")
+                    except _MUTATION_ERRORS:
+                        continue
+        return applied
+
+    # -- opposites ---------------------------------------------------------
+
+    def _fix_opposite(self, element: Element,
+                      diagnostic: Diagnostic) -> int:
+        # desynchronized inverse bookkeeping: drop the forward link(s)
+        feature = diagnostic.feature
+        try:
+            if feature.many:
+                slot = element.eget(feature.name)
+                while len(slot):
+                    slot.remove(slot[-1])
+            else:
+                element.eset(feature.name, None)
+        except _MUTATION_ERRORS:
+            return 0
+        return self._record(
+            "resync", "opposite", element,
+            f"cleared {feature.name} to restore inverse integrity")
+
+    # -- everything else: rename duplicates, else prune --------------------
+
+    def _fix_generic(self, element: Element,
+                     diagnostic: Diagnostic) -> int:
+        message = diagnostic.message.lower()
+        name_feature = element.meta.find_feature("name")
+        if ("name" in message and "duplicate" in message
+                and isinstance(name_feature, Attribute)
+                and not name_feature.many):
+            self._rename_counter += 1
+            fresh = (f"{element.eget('name') or element.meta.name}"
+                     f"_r{self._rename_counter}")
+            try:
+                element.eset("name", fresh)
+            except _MUTATION_ERRORS:
+                return 0
+            return self._record(
+                "rename", diagnostic.code, element,
+                f"renamed to {fresh!r}")
+        if element.container is not None:
+            element.delete()
+            return self._record(
+                "prune", diagnostic.code, element,
+                f"deleted element flagged by {diagnostic.code or 'rule'}")
+        if diagnostic.feature is not None:
+            try:
+                element.eunset(diagnostic.feature.name)
+            except Exception:
+                return 0
+            return self._record(
+                "prune", diagnostic.code, element,
+                f"unset {diagnostic.feature.name}")
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _holds_quietly(invariant: Any, element: Element) -> bool:
+    try:
+        return invariant.holds(element)
+    except Exception:
+        return False
+
+
+def _mentioned_features(invariant: Any, element: Element) -> List[Any]:
+    """The non-derived features of *element* the invariant's AST reads."""
+    names: Set[str] = set()
+    for node in _walk(invariant.ast):
+        if isinstance(node, (Ident, Nav)) and node.name:
+            names.add(node.name)
+    features = []
+    for name in sorted(names):
+        feature = element.meta.find_feature(name)
+        if feature is not None and not feature.derived:
+            features.append(feature)
+    return features
+
+
+def _fallback_value(feature: Attribute) -> Any:
+    from ..mof import MBoolean, MInteger, MReal, MetaEnum
+    ftype = feature.type
+    if isinstance(ftype, MetaEnum):
+        return ftype.literals[0]
+    if ftype is MBoolean:
+        return True
+    if ftype is MInteger:
+        return 0
+    if ftype is MReal:
+        return 0.0
+    return f"{feature.name}_repaired"

@@ -176,6 +176,9 @@ class Session:
         self.constraint_sets = list(constraint_sets)
         self.registry = registry
         self.lint_config = lint_config
+        #: the :class:`~repro.generate.GenerationResult` behind this
+        #: session, when it was opened via :meth:`Session.generate`
+        self.generation: Optional[Any] = None
 
     # -- construction ------------------------------------------------------
 
@@ -185,6 +188,22 @@ class Session:
         with all bundled profiles available for stereotype resolution."""
         from .cli import load_model
         return cls(load_model(path), **kwargs)
+
+    @classmethod
+    def generate(cls, package: str = "demo", *, size: int = 1000,
+                 seed: int = 0, repair: bool = True,
+                 **kwargs: Any) -> "Session":
+        """Open a session over a freshly generated seeded model
+        (:func:`repro.generate.generate_model`); by default the corpus
+        is repaired to zero error diagnostics first.  The full
+        :class:`~repro.generate.GenerationResult` (coverage map, repair
+        report) is kept as ``session.generation``."""
+        from .generate import generate_model
+        result = generate_model(package, size=size, seed=seed,
+                                repair=repair, **kwargs)
+        session = cls(result.model)
+        session.generation = result
+        return session
 
     @property
     def roots(self) -> List[Element]:

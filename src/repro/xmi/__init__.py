@@ -17,6 +17,7 @@ from .persist import (
     backup_path,
     load_model,
     save_model,
+    serialize_model,
 )
 from .reader import TypeRegistry, XmiReader, read_xml
 from .writer import XmiWriter, write_xml
@@ -25,5 +26,5 @@ __all__ = [
     "CorruptModelError", "PersistenceError", "TypeRegistry", "XmiReader",
     "XmiWriter", "assign_ids", "atomic_write_text", "backup_path",
     "load_model", "read_json",
-    "read_xml", "save_model", "write_json", "write_xml",
+    "read_xml", "save_model", "serialize_model", "write_json", "write_xml",
 ]

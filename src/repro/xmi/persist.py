@@ -200,16 +200,28 @@ def atomic_write_text(path: Union[str, os.PathLike], text: str, *,
 # Model-level API
 # ---------------------------------------------------------------------------
 
+def serialize_model(source: Union[Model, Element], *,
+                    format: str = "xmi") -> str:
+    """The digest-sealed serialized text :func:`save_model` would write.
+
+    For callers that stream to stdout or a transport instead of a file;
+    the output round-trips through :func:`load_model` either way.
+    """
+    if format == "json":
+        return _seal_json(write_json(source))
+    if format in ("xmi", "xml"):
+        return _seal_xml(write_xml(source))
+    raise ValueError(f"unknown serialization format {format!r}; "
+                     f"expected 'xmi' or 'json'")
+
+
 def save_model(source: Union[Model, Element], path: Union[str, os.PathLike],
                *, format: Optional[str] = None,
                keep_backup: bool = True) -> str:
     """Serialize *source* and save it crash-safely; return the format used."""
     path = os.fspath(path)
     fmt = _detect_format(path, format)
-    if fmt == "json":
-        text = _seal_json(write_json(source))
-    else:
-        text = _seal_xml(write_xml(source))
+    text = serialize_model(source, format=fmt)
     atomic_write_text(path, text, keep_backup=keep_backup)
     return fmt
 

@@ -21,14 +21,12 @@ import json
 
 import pytest
 
-from modelgen import (
+from repro.generate import (
     EditFuzzer,
     ModelGenerator,
     UML_SAFE_CLASSES,
-    add_attribute,
-    define_class,
-    define_package,
 )
+from repro.mof import add_attribute, define_class, define_package
 from repro.analysis import (
     LintConfig,
     ModelLinter,

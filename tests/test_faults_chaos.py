@@ -26,7 +26,7 @@ import os
 
 import pytest
 
-from modelgen import EditFuzzer, demo_generator, demo_package, \
+from repro.generate import EditFuzzer, demo_generator, demo_package, \
     uml_generator
 from repro import faults
 from repro.mof import compare, transaction

@@ -3,7 +3,7 @@
 The single property: for ANY model and ANY edit sequence, the
 incremental engine's diagnostics are indistinguishable from running the
 batch checkers from scratch.  Models and edits come from the
-metamodel-driven generators in :mod:`modelgen`; equality is compared as
+metamodel-driven generators in :mod:`repro.generate`; equality is compared as
 a multiset of :func:`repro.incremental.diagnostic_key` signatures after
 *every* edit, so a stale cache entry or an over-invalidation that drops
 a diagnostic fails on the exact (seed, step) that exposes it.
@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import pytest
 
-from modelgen import EditFuzzer, demo_generator, uml_generator
+from repro.generate import EditFuzzer, demo_generator, uml_generator
 from repro.analysis import LintConfig, ModelLinter
 from repro.incremental import IncrementalEngine, report_signature
 from repro.mof.validate import validate_tree

@@ -10,7 +10,7 @@ eid index cross-check.
 
 import pytest
 
-from modelgen import EditFuzzer, demo_generator, demo_package
+from repro.generate import EditFuzzer, demo_generator, demo_package
 from repro.mof import (
     M_0N,
     MInteger,

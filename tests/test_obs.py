@@ -268,7 +268,7 @@ class TestKernelProbes:
 
 class TestInstrumentedLayers:
     def test_session_check_emits_spans_and_metrics(self, registry):
-        from modelgen import uml_generator
+        from repro.generate import uml_generator
         from repro.session import Session
 
         root = uml_generator(3).generate(30)

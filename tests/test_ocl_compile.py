@@ -15,7 +15,7 @@ no-poisoning guarantee between contexts, and hit/miss accounting.
 
 import pytest
 
-from modelgen import demo_generator, demo_package, uml_generator
+from repro.generate import demo_generator, demo_package, uml_generator
 from repro.incremental import report_signature
 from repro.mof import (
     MInteger,

@@ -11,7 +11,7 @@ import warnings
 
 import pytest
 
-from modelgen import demo_generator, uml_generator
+from repro.generate import demo_generator, uml_generator
 from repro.incremental import report_signature
 from repro.mof import Model
 from repro.mof.validate import ValidationReport

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from modelgen import EditFuzzer, demo_generator, demo_package, \
+from repro.generate import EditFuzzer, demo_generator, demo_package, \
     uml_generator
 from repro.mof import compare, transaction
 from repro.mof.repository import Model
