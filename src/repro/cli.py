@@ -2,28 +2,40 @@
 
 ::
 
-    python -m repro validate  model.xmi
+    python -m repro check     model.xmi --families lint,consistency
     python -m repro lint      model.xmi
     python -m repro watch     model.xmi
     python -m repro metrics   model.xmi
-    python -m repro check     model.xmi --platform posix
+    python -m repro purity    model.xmi --platform posix
     python -m repro transform model.xmi --platform posix -o psm.xmi
     python -m repro generate  psm.xmi --lang c -o out/
     python -m repro generate  --size 10000 --seed 0 --repair -o corpus.xmi
     python -m repro schedule  model.xmi
     python -m repro diff      a.xmi b.xmi
     python -m repro convert   model.xmi -o model.json
-    python -m repro profile   model.xmi --pipeline validate,transform,generate
+    python -m repro profile   model.xmi --pipeline check,transform,generate
     python -m repro stats     model.xmi --format prom
+    python -m repro serve     --port 8765 --load main=model.xmi
+    python -m repro rpc       check --connect localhost:8765 --repo main
 
 Model files are the XMI-style XML (``.xmi``/``.xml``) or JSON (``.json``)
 dialects of :mod:`repro.xmi`; all bundled profiles are available for
 stereotype resolution.
 
+``check`` is *the* checking verb — one meaning everywhere: the CLI, the
+:meth:`repro.session.Session.check` facade and the model server's wire
+protocol all run the same family-filtered check and serialize the same
+document (``validate`` survives as a deprecated alias of ``check
+--families structural,invariant,wellformed``; the old pollution check
+is now ``purity``).
+
 Contracts shared by every verb: exit code 0 means clean, 1 means
 findings were reported, 2 means usage or model-load error; ``--trace
-FILE`` appends the verb's span tree as JSONL; the checking verbs accept
-``--format text|json`` and a ``--severity`` floor.
+FILE`` appends the verb's span tree as JSONL; every diagnostic-emitting
+verb (``check``/``lint``/``watch``/``report``, and ``rpc check`` over
+the wire) accepts ``--format text|json`` and a ``--severity`` floor,
+rendered by the one shared renderer
+(:func:`repro.session.render_check_document`).
 """
 
 from __future__ import annotations
@@ -100,33 +112,37 @@ def emit_check_result(result: CheckResult,
     print(result.render(getattr(args, "format", "text")))
 
 
-def cmd_validate(args: argparse.Namespace) -> int:
+def cmd_check(args: argparse.Namespace) -> int:
+    from .session import FAMILIES
+
+    families = None
+    if args.families:
+        families = tuple(f.strip() for f in args.families.split(",")
+                         if f.strip())
+        unknown = [f for f in families if f not in FAMILIES]
+        if unknown:
+            print(f"error: unknown check families {unknown}; expected a "
+                  f"subset of {','.join(FAMILIES)}", file=sys.stderr)
+            return 2
     session = Session(load_model(args.model))
-    result = session.check(
-        families=("structural", "invariant", "wellformed"),
-        severity=args.severity)
-    if args.format == "json":
-        emit_check_result(result, args)
-        return 0 if result.ok else 1
-    groups = (
-        ("structural", (result.by_family.get("structural", [])
-                        + result.by_family.get("invariant", []))),
-        ("well-formedness", result.by_family.get("wellformed", [])),
-    )
-    for label, diagnostics in groups:
-        errors = [d for d in diagnostics if d.severity.value == "error"]
-        warnings_ = [d for d in diagnostics if d.severity.value == "warning"]
-        if not errors:
-            print(f"{label}: ok"
-                  + (f" ({len(warnings_)} warning(s))" if warnings_ else ""))
-            if args.verbose:
-                for diagnostic in warnings_:
-                    print(f"  warning: {diagnostic}")
-        else:
-            print(f"{label}: {len(errors)} error(s)")
-            for diagnostic in errors:
-                print(f"  {diagnostic}")
-    return 0 if result.ok else 1
+    result = session.check(families=families, severity=args.severity)
+    emit_check_result(result, args)
+    clean = result.ok and not (getattr(args, "strict", False)
+                               and result.warnings)
+    return 0 if clean else 1
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Deprecated alias: ``check --families structural,invariant,wellformed``."""
+    import warnings
+
+    warnings.warn(
+        "`repro validate` is deprecated; use `repro check --families "
+        "structural,invariant,wellformed`",
+        DeprecationWarning, stacklevel=2)
+    args.families = "structural,invariant,wellformed"
+    args.strict = False
+    return cmd_check(args)
 
 
 #: rule families `python -m repro lint --families` accepts
@@ -160,17 +176,22 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if clean else 1
 
 
-def _watch_pass(engine, model_path: str) -> "object":
+def _watch_pass(engine, model_path: str, fmt: str = "text",
+                severity: Optional[str] = None) -> "object":
     import time
 
     started = time.perf_counter()
     report = engine.revalidate()
     elapsed = (time.perf_counter() - started) * 1e3
+    result = engine.check_result().filtered(severity)
+    if fmt == "json":
+        print(result.render("json"))
+        return report
     print(f"{model_path}: {len(report.errors)} error(s), "
           f"{len(report.warnings)} warning(s) across "
           f"{engine.unit_count()} check unit(s) in {elapsed:.1f} ms "
           f"[{engine.stats.summary()}]")
-    for diagnostic in report.errors + report.warnings:
+    for diagnostic in result.filtered(severity or "warning").diagnostics:
         print(f"  {diagnostic.render()}")
     quarantined = engine.quarantined()
     if quarantined:
@@ -224,7 +245,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
 
     model = load_model(args.model)
     engine = IncrementalEngine(model, consistency=True)
-    report = _watch_pass(engine, args.model)
+    report = _watch_pass(engine, args.model, args.format, args.severity)
     if args.bench:
         code = _watch_bench(engine, args.bench)
         engine.detach()
@@ -257,7 +278,8 @@ def cmd_watch(args: argparse.Namespace) -> int:
                 engine = IncrementalEngine(model, consistency=True)
                 continue
             engine = IncrementalEngine(model, consistency=True)
-            report = _watch_pass(engine, args.model)
+            report = _watch_pass(engine, args.model, args.format,
+                                 args.severity)
             now = {d.render() for d in report.diagnostics}
             for line in sorted(now - rendered):
                 print(f"  + {line}")
@@ -283,7 +305,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_check(args: argparse.Namespace) -> int:
+def cmd_purity(args: argparse.Namespace) -> int:
     model = load_model(args.model)
     platforms = [PLATFORMS[name]() for name in (args.platform or [])]
     dirty = 0
@@ -405,15 +427,25 @@ def cmd_schedule(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
+    import json as _json
+
     model = load_model(args.model)
     platforms = [PLATFORMS[name]() for name in (args.platform or [])]
     all_passed = True
+    documents = []
     for root in model.roots:
         report = build_quality_report(
             root, platforms=platforms,
-            include_traceability=args.traceability)
-        print(report.render())
+            include_traceability=args.traceability,
+            severity=args.severity)
+        if args.format == "json":
+            documents.append(report.to_json())
+        else:
+            print(report.render())
         all_passed = all_passed and report.passed
+    if args.format == "json":
+        print(_json.dumps(documents[0] if len(documents) == 1
+                          else documents, indent=2))
     return 0 if all_passed else 1
 
 
@@ -500,12 +532,13 @@ def cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
-PIPELINE_STAGES = ("validate", "lint", "transform", "generate")
+PIPELINE_STAGES = ("check", "lint", "transform", "generate")
 
 
-def _run_pipeline(args: argparse.Namespace, stages) -> None:
+def _run_pipeline(args: argparse.Namespace, stages) -> Session:
     """Execute the requested toolchain stages over ``args.model`` with
-    the observability layer already enabled (the caller owns it)."""
+    the observability layer already enabled (the caller owns it);
+    returns the session the checking stages ran through."""
     from . import obs
 
     with obs.span("cli.load", model=args.model):
@@ -513,7 +546,7 @@ def _run_pipeline(args: argparse.Namespace, stages) -> None:
     session = Session(model)
     psm_model = None
     for stage in stages:
-        if stage == "validate":
+        if stage == "check":
             session.check(families=("structural", "invariant",
                                     "wellformed"))
         elif stage == "lint":
@@ -528,10 +561,14 @@ def _run_pipeline(args: argparse.Namespace, stages) -> None:
             generator = GENERATORS[args.lang]
             for root in source.roots:
                 generator(lower_model(root))
+    return session
 
 
 def _parse_stages(pipeline: str):
-    stages = [s.strip() for s in pipeline.split(",") if s.strip()]
+    # "validate" stays accepted as a spelling of the check stage so old
+    # --pipeline values keep working
+    stages = ["check" if s.strip() == "validate" else s.strip()
+              for s in pipeline.split(",") if s.strip()]
     unknown = [s for s in stages if s not in PIPELINE_STAGES]
     if unknown:
         print(f"error: unknown pipeline stage(s) {unknown}; expected a "
@@ -564,9 +601,13 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    import json as _json
+
     from . import obs
     from .ocl.compile import cache_stats
+    from .session import runtime_stats
 
+    session = None
     if args.model:
         stages = _parse_stages(args.pipeline)
         if stages is None:
@@ -574,7 +615,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         obs.enable()
         try:
             with obs.span("cli.stats", model=args.model):
-                _run_pipeline(args, stages)
+                session = _run_pipeline(args, stages)
         finally:
             obs.disable()
     for stat, value in cache_stats().items():
@@ -585,7 +626,87 @@ def cmd_stats(args: argparse.Namespace) -> int:
     if args.format == "prom":
         print(obs.REGISTRY.render_prometheus())
     else:
-        print(obs.REGISTRY.render_json())
+        # the same document Session.stats() returns and the model
+        # server's `stats` verb sends over the wire
+        document = (session.stats() if session is not None
+                    else runtime_stats())
+        print(_json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .server import PROTOCOL_VERSION, ModelServer, TcpServer
+
+    server = ModelServer(max_frame=args.max_frame)
+    for spec in args.load or []:
+        name, _, path = spec.partition("=")
+        if not name or not path:
+            print(f"error: --load expects NAME=PATH, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        server.attach(name, Session(load_model(path)))
+        print(f"loaded repository {name!r} from {path}")
+    tcp = TcpServer(server, args.host, args.port)
+    host, port = tcp.address
+    print(f"repro model server (protocol v{PROTOCOL_VERSION}) "
+          f"listening on {host}:{port}; ctrl-C to stop")
+    try:
+        tcp.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        tcp.shutdown()
+    return 0
+
+
+def cmd_rpc(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .server import RemoteError, TcpClient
+    from .session import render_check_document
+
+    host, _, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"error: --connect expects HOST:PORT, got "
+              f"{args.connect!r}", file=sys.stderr)
+        return 2
+    params = {}
+    if args.params:
+        try:
+            params = _json.loads(args.params)
+        except ValueError as exc:
+            print(f"error: --params is not valid JSON: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not isinstance(params, dict):
+            print("error: --params must be a JSON object",
+                  file=sys.stderr)
+            return 2
+    if args.repo:
+        params.setdefault("repo", args.repo)
+    if args.severity and args.verb == "check":
+        params.setdefault("severity", args.severity)
+    try:
+        with TcpClient(host or "127.0.0.1", port) as client:
+            result = client.request(args.verb, **params)
+    except RemoteError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.data:
+            print(_json.dumps(exc.data, indent=2, sort_keys=True),
+                  file=sys.stderr)
+        return 1
+    except (OSError, ConnectionError) as exc:
+        print(f"error: cannot reach {args.connect}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.verb == "check" and args.format == "text":
+        print(render_check_document(result, "text"))
+    else:
+        print(_json.dumps(result, indent=2, sort_keys=True))
+    if args.verb == "check":
+        return 0 if not result.get("errors") else 1
     return 0
 
 
@@ -615,14 +736,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="only report diagnostics at or above this severity")
 
     p = sub.add_parser(
-        "validate", help="structural + well-formedness checks",
+        "check", help="run the checker families over a model (the one "
+                      "checking verb: CLI, Session and server agree)",
         parents=[trace_parent, diag_parent],
-        description="Validate a model structurally and against the UML "
-                    "well-formedness rules.",
+        description="Run Session.check over the model: any subset of "
+                    "the structural, invariant, wellformed, lint, "
+                    "consistency and constraint families (default: all "
+                    "but constraint).  The same verb with the same "
+                    "document shape is exposed by repro.session.Session"
+                    ".check and by the model server's wire protocol.",
+        epilog="exit codes: 0 = clean, 1 = errors found (or warnings "
+               "with --strict), 2 = usage/load error")
+    p.add_argument("model")
+    p.add_argument("--families", metavar="LIST",
+                   help="comma-separated checker families to run "
+                        "(default: structural,invariant,wellformed,"
+                        "lint,consistency)")
+    p.add_argument("--strict", action="store_true",
+                   help="treat warnings as failures")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "validate", help="deprecated alias of `check --families "
+                         "structural,invariant,wellformed`",
+        parents=[trace_parent, diag_parent],
+        description="Deprecated alias: emits a DeprecationWarning and "
+                    "runs `check --families structural,invariant,"
+                    "wellformed`.",
         epilog="exit codes: 0 = clean, 1 = errors found, "
                "2 = usage/load error")
     p.add_argument("model")
-    p.add_argument("-v", "--verbose", action="store_true")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="accepted for compatibility; no effect")
     p.set_defaults(fn=cmd_validate)
 
     p = sub.add_parser(
@@ -653,7 +798,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "watch", help="continuous incremental revalidation",
-        parents=[trace_parent],
+        parents=[trace_parent, diag_parent],
         description="Validate a model through the incremental "
                     "revalidation engine (structure, invariants, UML "
                     "well-formedness, lint) and keep watching the file: "
@@ -684,14 +829,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser(
-        "check", help="domain/platform pollution check",
+        "purity", help="domain/platform pollution check",
         parents=[trace_parent],
+        description="Scan PIM packages for platform pollution "
+                    "(formerly `repro check`; `check` is now the "
+                    "unified checker-family verb).",
         epilog="exit codes: 0 = clean, 1 = pollution found, "
                "2 = usage/load error")
     p.add_argument("model")
     p.add_argument("--platform", action="append",
                    choices=sorted(PLATFORMS))
-    p.set_defaults(fn=cmd_check)
+    p.set_defaults(fn=cmd_purity)
 
     p = sub.add_parser("transform", help="PIM -> PSM for a platform",
                        parents=[trace_parent])
@@ -749,7 +897,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_schedule)
 
     p = sub.add_parser("report", help="one-page quality report",
-                       parents=[trace_parent])
+                       parents=[trace_parent, diag_parent])
     p.add_argument("model")
     p.add_argument("--platform", action="append",
                    choices=sorted(PLATFORMS))
@@ -800,11 +948,11 @@ def build_parser() -> argparse.ArgumentParser:
                     "recorded span tree plus the top-N self-time table.",
         epilog="exit codes: 0 = profiled, 2 = usage/load error")
     p.add_argument("model")
-    p.add_argument("--pipeline", default="validate,transform,generate",
+    p.add_argument("--pipeline", default="check,transform,generate",
                    metavar="STAGES",
                    help="comma-separated subset of "
                         f"{','.join(PIPELINE_STAGES)} "
-                        "(default validate,transform,generate)")
+                        "(default check,transform,generate)")
     p.add_argument("--platform", default="posix",
                    choices=sorted(PLATFORMS),
                    help="platform for the transform stage")
@@ -826,16 +974,60 @@ def build_parser() -> argparse.ArgumentParser:
         epilog="exit codes: 0 = printed, 2 = usage/load error")
     p.add_argument("model", nargs="?",
                    help="optional model to run --pipeline over first")
-    p.add_argument("--pipeline", default="validate",
+    p.add_argument("--pipeline", default="check",
                    metavar="STAGES",
                    help="stages to run when a model is given "
-                        "(default validate)")
+                        "(default check)")
     p.add_argument("--platform", default="posix",
                    choices=sorted(PLATFORMS))
     p.add_argument("--lang", default="c", choices=sorted(GENERATORS))
     p.add_argument("--format", choices=["prom", "json"], default="prom",
-                   help="export format (default prom)")
+                   help="export format (default prom; json prints the "
+                        "same document Session.stats() returns and the "
+                        "model server's stats verb serves)")
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "serve", help="run the multi-tenant model server",
+        parents=[trace_parent],
+        description="Host models as named repositories behind the "
+                    "line-oriented JSON wire protocol (see "
+                    "repro.server).  Clients connect over TCP and speak "
+                    "the verbs load, generate, check, edit-txn, watch, "
+                    "stats, close; `repro rpc` is the matching thin "
+                    "client.",
+        epilog="exit codes: 0 = clean shutdown, 2 = usage/load error")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8765,
+                   help="TCP port (default 8765; 0 = ephemeral)")
+    p.add_argument("--load", action="append", metavar="NAME=PATH",
+                   help="pre-load a model file as repository NAME "
+                        "(repeatable)")
+    p.add_argument("--max-frame", type=int, default=None, metavar="BYTES",
+                   help="per-frame byte ceiling (default 8 MiB)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "rpc", help="send one verb to a running model server",
+        parents=[trace_parent, diag_parent],
+        description="Thin client for `repro serve`: send VERB with "
+                    "--params JSON (plus --repo as shorthand for the "
+                    "repo param) and print the result.  `rpc check` "
+                    "renders the response through the same renderer as "
+                    "`repro check`, so local and remote output match.",
+        epilog="exit codes: 0 = ok (check: clean), 1 = server error "
+               "response (check: errors found), 2 = usage/connection "
+               "error")
+    p.add_argument("verb", help="protocol verb (e.g. check, stats, "
+                                "edit-txn, load, generate)")
+    p.add_argument("--connect", default="127.0.0.1:8765",
+                   metavar="HOST:PORT",
+                   help="server address (default 127.0.0.1:8765)")
+    p.add_argument("--params", metavar="JSON",
+                   help="verb params as a JSON object")
+    p.add_argument("--repo", help="shorthand for the repo param")
+    p.set_defaults(fn=cmd_rpc)
     return parser
 
 

@@ -690,6 +690,21 @@ class IncrementalEngine:
                 .diagnostics.extend(self._results.get(key, ()))
         return out
 
+    def check_result(self):
+        """Cached diagnostics as a :class:`repro.session.CheckResult`.
+
+        Unit kinds map one-to-one onto the session's checker families
+        (extra :class:`~repro.ocl.invariants.ConstraintSet` invariants
+        run as ``invariant`` units and report there), so a watching
+        client renders server-pushed documents with the same renderer a
+        batch ``Session.check`` uses.
+        """
+        from ..session import FAMILIES, CheckResult
+        kinds = self.report_by_kind()
+        return CheckResult({
+            family: list(kinds[family].diagnostics)
+            for family in FAMILIES if family in kinds})
+
     def unit_count(self) -> int:
         return len(self._units)
 

@@ -281,6 +281,26 @@ class Transaction:
         """Journal entries recorded within this transaction's scope."""
         return len(self.journal) - self._base
 
+    def touched_elements(self) -> List[Element]:
+        """The distinct elements this transaction's journal touched, in
+        first-touch order (both endpoints of bidirectional changes).
+
+        The model server uses this for conflict/watch payloads: a
+        rejected ``edit-txn`` can name exactly what the winning
+        transaction changed, and a committed one can push a precise
+        invalidation summary to watching clients.
+        """
+        seen: dict = {}
+        for entry in self.journal[self._base:]:
+            if isinstance(entry, RootChange):
+                candidates = (entry.element,)
+            else:
+                candidates = (entry.element, entry.old, entry.new)
+            for candidate in candidates:
+                if isinstance(candidate, Element):
+                    seen.setdefault(id(candidate), candidate)
+        return list(seen.values())
+
     def on_commit(self, hook: Callable[["Transaction"], None]) -> None:
         """Run *hook(self)* when this transaction commits."""
         self._commit_hooks.append(hook)

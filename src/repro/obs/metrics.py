@@ -82,6 +82,28 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (0..1) from the bucket counts.
+
+        Prometheus-style: linear interpolation within the first bucket
+        whose cumulative count reaches ``q * count``; the +Inf bucket
+        reports the last finite bound (an underestimate by design).
+        Used by the model-server ``stats`` verb and the E20 benchmark
+        for p50/p99 latency readouts.
+        """
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        lower = 0.0
+        for bound, count in zip(self.bounds, self.counts):
+            if running + count >= rank and count:
+                fraction = (rank - running) / count
+                return lower + (bound - lower) * fraction
+            running += count
+            lower = bound
+        return self.bounds[-1] if self.bounds else 0.0
+
 
 class _Family:
     __slots__ = ("name", "kind", "help", "buckets", "children")

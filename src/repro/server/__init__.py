@@ -1,0 +1,62 @@
+"""``repro.server`` — the multi-tenant model server.
+
+The paper's workflow is many engineers concurrently editing and
+re-checking one shared, living model repository.  This package promotes
+:class:`repro.session.Session` from a library facade to that server: a
+long-lived process hosting many named repositories, speaking a JSON-RPC
+style line protocol whose verbs mirror the Session facade —
+
+========== =====================================================
+verb       Session equivalent
+========== =====================================================
+load       ``Session.load(path)`` hosted under a repo name
+generate   ``Session.generate(...)`` hosted under a repo name
+edit-txn   an atomic batch through ``repro.mof.txn.transaction``
+check      ``Session.check`` riding a connection-scoped
+           :class:`~repro.incremental.IncrementalEngine`
+watch      ``Session.watch`` + server-push diagnostics events
+stats      ``Session.stats()`` passthrough (+ server counters)
+close      engine/watch teardown for one connection
+========== =====================================================
+
+Isolation is optimistic: every repository carries an *edit epoch*, a
+stale ``edit-txn`` is rejected with a replayable ``conflict`` error,
+and each connection keeps its own warm incremental engine per
+repository.  See :mod:`repro.server.dispatch` for the concurrency
+model and :mod:`repro.server.protocol` for the wire contract.
+"""
+
+from .dispatch import PROTOCOL_VERSION, ModelServer, RepoState, VERBS
+from .protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    ServerError,
+    decode_frame,
+    encode_frame,
+)
+from .transport import (
+    InProcessClient,
+    RemoteError,
+    TcpClient,
+    TcpServer,
+    serve_tcp,
+)
+
+__all__ = [
+    "ERROR_CODES",
+    "InProcessClient",
+    "MAX_FRAME_BYTES",
+    "ModelServer",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteError",
+    "RepoState",
+    "ServerError",
+    "TcpClient",
+    "TcpServer",
+    "VERBS",
+    "decode_frame",
+    "encode_frame",
+    "serve_tcp",
+]

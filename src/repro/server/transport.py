@@ -1,0 +1,347 @@
+"""Transports for the model server: TCP sockets and in-process.
+
+The dispatch layer only needs two things from a transport: a way to
+deliver inbound lines to :meth:`ServerConnection.handle_line`, and a
+``send(frame)`` callable for outbound frames.  Two implementations:
+
+* :class:`TcpServer` / :class:`TcpClient` — the real thing: a listener
+  thread accepting connections, one reader thread per connection,
+  newline-delimited JSON frames over a stream socket;
+* :func:`ModelServer.connect` driven directly by
+  :class:`InProcessClient` — the same frame round-trip (encode → decode
+  both ways, so only JSON-serializable payloads pass) without a socket,
+  used by tests and benchmarks to measure dispatch cost without kernel
+  networking noise.
+
+Oversized-line handling on the TCP read side never buffers more than
+``max_frame`` bytes: the reader rejects the frame as soon as the limit
+is crossed, then discards until the next newline and keeps serving.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from .dispatch import ModelServer
+from .protocol import (
+    decode_frame,
+    encode_frame,
+    error_frame,
+    is_event,
+    request_frame,
+)
+
+
+class RemoteError(Exception):
+    """A request came back as an error response."""
+
+    def __init__(self, code: str, message: str, data: Dict[str, Any]):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.data = data
+
+
+# ---------------------------------------------------------------------------
+# In-process transport
+# ---------------------------------------------------------------------------
+
+class InProcessClient:
+    """A client whose frames go straight through the dispatcher.
+
+    Every frame still passes through ``encode_frame``/``decode_frame``
+    in both directions, so anything that works here works byte-for-byte
+    over TCP.  Events received while waiting for a response accumulate
+    in :attr:`events`.
+    """
+
+    def __init__(self, server: ModelServer):
+        self._server = server
+        self._inbox: List[Dict[str, Any]] = []
+        self._ids = iter(range(1, 1 << 62))
+        self.events: List[Dict[str, Any]] = []
+        self._conn = server.connect(self._receive)
+
+    def _receive(self, frame: Dict[str, Any]) -> None:
+        # the wire round-trip: reject anything not JSON-serializable
+        self._inbox.append(json.loads(encode_frame(frame)))
+
+    def request(self, verb: str, **params: Any) -> Dict[str, Any]:
+        """Send one request; return its result or raise RemoteError."""
+        request_id = next(self._ids)
+        self._conn.handle_line(
+            encode_frame(request_frame(request_id, verb, params)))
+        return self._collect(request_id)
+
+    def send_raw(self, line: bytes) -> List[Dict[str, Any]]:
+        """Push raw bytes at the dispatcher (protocol robustness tests);
+        returns every frame the server answered with."""
+        before = len(self._inbox)
+        self._conn.handle_line(line)
+        out, self._inbox[before:] = self._inbox[before:], []
+        return out
+
+    def drain_events(self) -> List[Dict[str, Any]]:
+        """Move every event received so far (including ones pushed while
+        this client was idle) out of the inbox and return them."""
+        self.events.extend(f for f in self._inbox if is_event(f))
+        self._inbox = [f for f in self._inbox if not is_event(f)]
+        out, self.events = self.events, []
+        return out
+
+    def _collect(self, request_id: int) -> Dict[str, Any]:
+        while self._inbox:
+            frame = self._inbox.pop(0)
+            if is_event(frame):
+                self.events.append(frame)
+                continue
+            if frame.get("id") != request_id:
+                continue             # response to a superseded request
+            if frame.get("ok"):
+                return frame["result"]
+            error = frame.get("error") or {}
+            raise RemoteError(error.get("code", "internal"),
+                              error.get("message", "?"),
+                              error.get("data") or {})
+        raise RemoteError("internal", "server sent no response", {})
+
+    def close(self) -> None:
+        if not self._conn.closed:
+            try:
+                self.request("close")
+            except RemoteError:
+                pass
+
+    def __enter__(self) -> "InProcessClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# TCP transport
+# ---------------------------------------------------------------------------
+
+class TcpServer:
+    """Threaded TCP front end over one :class:`ModelServer`.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`address` reports
+    the bound endpoint.  One daemon thread accepts, one daemon thread
+    per connection reads; writes go through the dispatch layer's
+    per-connection send lock so watch events and responses interleave
+    safely.
+    """
+
+    def __init__(self, server: ModelServer, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.server = server
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._threads: List[threading.Thread] = []
+        self._running = False
+        self._accept_thread: Optional[threading.Thread] = None
+
+    def start(self) -> "TcpServer":
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-server-accept",
+            daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Run the accept loop on the calling thread (CLI ``serve``)."""
+        self._running = True
+        self._accept_loop()
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                sock, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break                     # listener closed mid-accept
+            thread = threading.Thread(
+                target=self._serve_connection, args=(sock,),
+                name="repro-server-conn", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve_connection(self, sock: socket.socket) -> None:
+        sock_lock = threading.Lock()
+
+        def send(frame: Dict[str, Any]) -> None:
+            with sock_lock:
+                sock.sendall(encode_frame(frame))
+
+        conn = self.server.connect(send)
+        try:
+            for line, oversized in _read_lines(sock,
+                                               self.server.max_frame):
+                if oversized:
+                    try:
+                        send(error_frame(
+                            None, "oversized",
+                            f"frame exceeds the "
+                            f"{self.server.max_frame}-byte limit"))
+                    except OSError:
+                        break
+                    continue
+                try:
+                    conn.handle_line(line)
+                except OSError:
+                    break                 # peer went away mid-response
+                if conn.closed:
+                    break
+        finally:
+            conn.cleanup()
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def shutdown(self) -> None:
+        """Stop accepting, close the listener, drop every connection."""
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None \
+                and self._accept_thread is not threading.current_thread():
+            self._accept_thread.join(timeout=2.0)
+        self.server.shutdown()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+
+def _read_lines(sock: socket.socket, max_frame: int):
+    """Yield ``(line, oversized)`` pairs from a stream socket.
+
+    Never buffers more than ``max_frame`` bytes for a single line; an
+    over-limit line yields ``(b"", True)`` once and is discarded up to
+    its terminating newline.
+    """
+    buffer = bytearray()
+    discarding = False
+    while True:
+        try:
+            chunk = sock.recv(65536)
+        except OSError:
+            return
+        if not chunk:
+            return
+        buffer.extend(chunk)
+        while True:
+            newline = buffer.find(b"\n")
+            if newline == -1:
+                if discarding:
+                    del buffer[:]
+                elif len(buffer) > max_frame:
+                    discarding = True
+                    del buffer[:]
+                    yield b"", True
+                break
+            if discarding:
+                del buffer[:newline + 1]
+                discarding = False
+                continue
+            line = bytes(buffer[:newline])
+            del buffer[:newline + 1]
+            if len(line) > max_frame:
+                yield b"", True
+            else:
+                yield line, False
+
+
+class TcpClient:
+    """Blocking line-protocol client for one server connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._ids = iter(range(1, 1 << 62))
+        self.events: List[Dict[str, Any]] = []
+
+    def request(self, verb: str, **params: Any) -> Dict[str, Any]:
+        request_id = next(self._ids)
+        self._sock.sendall(
+            encode_frame(request_frame(request_id, verb, params)))
+        return self._read_response(request_id)
+
+    def send_raw(self, data: bytes) -> Dict[str, Any]:
+        """Send raw bytes and read one frame back (robustness tests)."""
+        self._sock.sendall(data)
+        return self._read_frame()
+
+    def _read_frame(self) -> Dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_frame(line.rstrip(b"\n"),
+                            max_frame=1 << 30)   # trust the server side
+
+    def _read_response(self, request_id: int) -> Dict[str, Any]:
+        while True:
+            frame = self._read_frame()
+            if is_event(frame):
+                self.events.append(frame)
+                continue
+            if frame.get("id") != request_id:
+                continue
+            if frame.get("ok"):
+                return frame["result"]
+            error = frame.get("error") or {}
+            raise RemoteError(error.get("code", "internal"),
+                              error.get("message", "?"),
+                              error.get("data") or {})
+
+    def drain_events(self, minimum: int = 0,
+                     timeout: float = 2.0) -> List[Dict[str, Any]]:
+        """Collect pushed events until at least *minimum* arrived (or
+        the socket stays quiet past *timeout*)."""
+        self._sock.settimeout(0.05)
+        import time
+        deadline = time.monotonic() + timeout
+        try:
+            while len(self.events) < minimum \
+                    and time.monotonic() < deadline:
+                try:
+                    frame = self._read_frame()
+                except (socket.timeout, TimeoutError):
+                    continue
+                if is_event(frame):
+                    self.events.append(frame)
+        finally:
+            self._sock.settimeout(None)
+        out, self.events = self.events, []
+        return out
+
+    def close(self) -> None:
+        try:
+            self.request("close")
+        except Exception:
+            pass
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "TcpClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def serve_tcp(server: ModelServer, host: str = "127.0.0.1",
+              port: int = 0) -> TcpServer:
+    """Bind and start a threaded TCP front end; returns it running."""
+    return TcpServer(server, host, port).start()

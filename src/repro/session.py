@@ -126,18 +126,34 @@ class CheckResult:
         }
 
     def render(self, format: str = "text") -> str:
-        if format == "json":
-            return json.dumps(self.to_json(), indent=2)
-        lines = [d.render() for d in self.diagnostics]
-        lines.append(f"check: {len(self.errors)} error(s), "
-                     f"{len(self.warnings)} warning(s), "
-                     f"{len(self.infos)} info(s) "
-                     f"[{', '.join(self.families)}]")
-        return "\n".join(lines)
+        return render_check_document(self.to_json(), format)
 
     def __repr__(self) -> str:
         return (f"<CheckResult families={list(self.families)} "
                 f"errors={len(self.errors)} warnings={len(self.warnings)}>")
+
+
+def render_check_document(document: Dict[str, Any],
+                          format: str = "text") -> str:
+    """Render a :meth:`CheckResult.to_json` document.
+
+    This is *the* diagnostic renderer: :meth:`CheckResult.render`
+    delegates here, and because it works on the serialized document
+    rather than live objects, a ``check`` response received over the
+    model-server wire protocol renders byte-identically to a local
+    ``python -m repro check`` run.
+    """
+    if format == "json":
+        return json.dumps(document, indent=2)
+    families = document.get("families", {})
+    lines = [record["rendered"]
+             for diagnostics in families.values()
+             for record in diagnostics]
+    lines.append(f"check: {document.get('errors', 0)} error(s), "
+                 f"{document.get('warnings', 0)} warning(s), "
+                 f"{document.get('infos', 0)} info(s) "
+                 f"[{', '.join(families)}]")
+    return "\n".join(lines)
 
 
 def _diagnostic_json(diagnostic: Diagnostic) -> Dict[str, Any]:
@@ -148,6 +164,7 @@ def _diagnostic_json(diagnostic: Diagnostic) -> Dict[str, Any]:
         "path": diagnostic.path,
         "element": repr(diagnostic.element),
         "hint": diagnostic.hint,
+        "rendered": diagnostic.render(),
     }
     if diagnostic.related is not None:
         record["related"] = repr(diagnostic.related)
@@ -369,7 +386,38 @@ class Session:
             root = roots[0]
         return build_quality_report(root, **kwargs)
 
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The session's runtime statistics document.
+
+        The same dict the ``python -m repro stats --format json`` verb
+        prints and the model server's ``stats`` verb returns per
+        repository: a ``model`` block (uri, roots, element count, index
+        state), the OCL compile-cache counters and the full metrics
+        registry export.  Keep the three consumers as passthroughs of
+        this one method so they can never drift apart.
+        """
+        document = runtime_stats()
+        document["model"] = {
+            "uri": self.model.uri,
+            "roots": len(self.model.roots),
+            "elements": self.model.size(),
+            "index": self.model.index().stats(),
+        }
+        return document
+
     def __repr__(self) -> str:
         return (f"<Session model={self.model.uri!r} "
                 f"roots={len(self.model.roots)} "
                 f"constraint_sets={len(self.constraint_sets)}>")
+
+
+def runtime_stats() -> Dict[str, Any]:
+    """The model-free half of :meth:`Session.stats`: OCL cache counters
+    plus the process-wide metrics registry export."""
+    from .ocl.compile import cache_stats
+    return {
+        "ocl_cache": dict(cache_stats()),
+        "metrics": _metrics.REGISTRY.to_json(),
+    }

@@ -56,13 +56,36 @@ class QualityReport:
         out.append(f"{' overall: ' + verdict + ' ':=^{width}}")
         return "\n".join(out)
 
+    def to_json(self) -> dict:
+        """The report as a JSON-ready document (``repro report
+        --format json``)."""
+        return {
+            "model": self.model_name,
+            "passed": self.passed,
+            "sections": [{"title": section.title,
+                          "passed": section.passed,
+                          "lines": list(section.lines)}
+                         for section in self.sections],
+        }
+
+
+#: severity floor ranks for the ``severity`` parameter below
+_SEVERITY_RANK = {"info": 0, "warning": 1, "error": 2}
+
+
+def _at_or_above(diagnostics, floor: int):
+    return [d for d in diagnostics
+            if _SEVERITY_RANK.get(
+                getattr(d.severity, "value", "error"), 2) >= floor]
+
 
 def build_quality_report(root: Package, *,
                          platforms: Sequence[PlatformModel] = (),
                          include_traceability: bool = False,
                          max_coupling_density: float = 0.75,
                          max_single_operation_ratio: float = 0.5,
-                         incremental=None) -> QualityReport:
+                         incremental=None,
+                         severity: Optional[str] = None) -> QualityReport:
     """Run every applicable model test over *root* and fold the results.
 
     When *incremental* is a primed
@@ -71,9 +94,16 @@ def build_quality_report(root: Package, *,
     (freshly revalidated) caches instead of full re-walks — the metrics,
     purity and traceability sections are cheap and always recomputed.
 
+    *severity* is the shared CLI floor (``info``/``warning``/``error``):
+    diagnostic lines below it are omitted from the diagnostic sections.
+    Section verdicts are always computed from the unfiltered reports —
+    the floor hides lines, it never flips PASS/FAIL.
+
     This is the building block behind
     :meth:`repro.session.Session.quality_report`.
     """
+    floor = _SEVERITY_RANK[getattr(severity, "value", severity)] \
+        if severity else 0
     report = QualityReport(root.name or "(unnamed)")
 
     if incremental is not None:
@@ -94,17 +124,18 @@ def build_quality_report(root: Package, *,
 
     report.sections.append(SectionResult(
         "structural validity", structural.ok,
-        [str(d) for d in structural.errors] or ["no errors"]))
+        [str(d) for d in _at_or_above(structural.errors, floor)]
+        or ["no errors"]))
 
-    lines = [str(d) for d in wellformed.errors]
-    lines += [str(d) for d in wellformed.warnings]
+    lines = [str(d) for d in _at_or_above(wellformed.errors, floor)]
+    lines += [str(d) for d in _at_or_above(wellformed.warnings, floor)]
     report.sections.append(SectionResult(
         "uml well-formedness", wellformed.ok, lines or ["no findings"]))
 
     # the well-formedness section above already reports the uml-* rules;
     # the lint section covers the behavioural/OCL analyses on top
-    lines = [d.render() for d in lint.errors]
-    lines += [d.render() for d in lint.warnings]
+    lines = [d.render() for d in _at_or_above(lint.errors, floor)]
+    lines += [d.render() for d in _at_or_above(lint.warnings, floor)]
     report.sections.append(SectionResult(
         "static analysis (lint)", lint.ok,
         lines or [lint.summary() if hasattr(lint, "summary")
@@ -112,8 +143,9 @@ def build_quality_report(root: Package, *,
 
     # cross-diagram consistency: interactions vs class model vs state
     # machines (the XD rule family)
-    lines = [d.render() for d in consistency.errors]
-    lines += [d.render() for d in consistency.warnings]
+    lines = [d.render() for d in _at_or_above(consistency.errors, floor)]
+    lines += [d.render() for d in
+              _at_or_above(consistency.warnings, floor)]
     report.sections.append(SectionResult(
         "cross-diagram consistency", consistency.ok,
         lines or ["no findings"]))

@@ -33,12 +33,22 @@ def scheduled_model_file(cruise_model, tmp_path):
     return str(path)
 
 
-class TestValidate:
+class TestCheckVerb:
     def test_clean_model(self, model_file, capsys):
-        assert main(["validate", model_file]) == 0
+        assert main(["check", model_file]) == 0
         out = capsys.readouterr().out
-        assert "structural: ok" in out
-        assert "well-formedness: ok" in out
+        assert "check: 0 error(s)" in out
+        assert "structural" in out and "consistency" in out
+
+    def test_family_subset(self, model_file, capsys):
+        assert main(["check", model_file,
+                     "--families", "structural,wellformed"]) == 0
+        out = capsys.readouterr().out
+        assert "[structural, wellformed]" in out
+
+    def test_unknown_family(self, model_file, capsys):
+        assert main(["check", model_file, "--families", "nope"]) == 2
+        assert "unknown check families" in capsys.readouterr().err
 
     def test_defective_model(self, factory, tmp_path, capsys):
         factory.clazz("Dup")
@@ -47,12 +57,18 @@ class TestValidate:
         model.add_root(factory.model)
         path = tmp_path / "bad.xmi"
         path.write_text(write_xml(model))
-        assert main(["validate", str(path)]) == 1
-        assert "uml-unique-name" not in capsys.readouterr().out  # msg text
+        assert main(["check", str(path)]) == 1
         # exit code is the contract; message content covered elsewhere
 
     def test_missing_file(self, capsys):
-        assert main(["validate", "/nonexistent.xmi"]) == 2
+        assert main(["check", "/nonexistent.xmi"]) == 2
+
+    def test_validate_alias_warns_and_checks(self, model_file, capsys):
+        with pytest.deprecated_call():
+            assert main(["validate", model_file]) == 0
+        out = capsys.readouterr().out
+        # the alias pins the historical validate families
+        assert "[structural, invariant, wellformed]" in out
 
 
 class TestLint:
@@ -124,9 +140,9 @@ class TestMetrics:
         assert "CruiseController" in out and "CBO" in out
 
 
-class TestCheck:
+class TestPurity:
     def test_clean(self, model_file, capsys):
-        assert main(["check", model_file, "--platform", "posix"]) == 0
+        assert main(["purity", model_file, "--platform", "posix"]) == 0
         assert "clean" in capsys.readouterr().out
 
     def test_polluted(self, factory, tmp_path, capsys):
@@ -135,7 +151,7 @@ class TestCheck:
         model.add_root(factory.model)
         path = tmp_path / "dirty.xmi"
         path.write_text(write_xml(model))
-        assert main(["check", str(path)]) == 1
+        assert main(["purity", str(path)]) == 1
         assert "pollution" in capsys.readouterr().out
 
 
@@ -252,9 +268,11 @@ class TestTestgen:
 
 
 class TestSharedDiagnosticContract:
-    def test_validate_json_format(self, model_file, capsys):
+    def test_check_json_format(self, model_file, capsys):
         import json
-        assert main(["validate", model_file, "--format", "json"]) == 0
+        assert main(["check", model_file, "--format", "json",
+                     "--families",
+                     "structural,invariant,wellformed"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["ok"] is True
         assert set(doc["families"]) == {"structural", "invariant",
@@ -275,23 +293,40 @@ class TestSharedDiagnosticContract:
         model = Model("urn:w", "w")
         model.add_root(factory.model)
         path.write_text(write_xml(model))
-        assert main(["validate", str(path), "--format", "json"]) == 0
+        assert main(["check", str(path), "--format", "json"]) == 0
         with_warnings = json.loads(capsys.readouterr().out)
         assert with_warnings["warnings"] > 0
-        assert main(["validate", str(path), "--format", "json",
+        assert main(["check", str(path), "--format", "json",
                      "--severity", "error"]) == 0
         errors_only = json.loads(capsys.readouterr().out)
         assert errors_only["warnings"] == 0
 
+    def test_watch_json_format(self, model_file, capsys):
+        import json
+        assert main(["watch", model_file, "--once",
+                     "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["ok"] is True and "families" in doc
+
+    def test_report_json_format(self, model_file, capsys):
+        import json
+        code = main(["report", model_file, "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert code in (0, 1)
+        assert doc["passed"] in (True, False)
+        titles = [section["title"] for section in doc["sections"]]
+        assert "structural validity" in titles
+        assert "domain purity" in titles
+
     def test_trace_writes_jsonl(self, model_file, tmp_path, capsys):
         import json
         trace_path = tmp_path / "trace.jsonl"
-        assert main(["validate", model_file,
+        assert main(["check", model_file,
                      "--trace", str(trace_path)]) == 0
         records = [json.loads(line) for line in
                    trace_path.read_text().splitlines()]
         names = {record["name"] for record in records}
-        assert "cli.validate" in names and "xmi.read" in names
+        assert "cli.check" in names and "xmi.read" in names
         assert any(record["parent"] is None for record in records)
         from repro.obs import is_enabled
         assert not is_enabled()             # main() tore tracing down
@@ -339,7 +374,10 @@ class TestStats:
         REGISTRY.reset()
         assert main(["stats", model_file, "--format", "json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert "mof.reads" in doc
+        # the Session.stats() document: metrics + OCL cache + model block
+        assert "mof.reads" in doc["metrics"]
+        assert "ocl_cache" in doc
+        assert doc["model"]["roots"] == 1
         REGISTRY.reset()
 
     def test_stats_without_model_prints_current_registry(self, capsys):

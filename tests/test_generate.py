@@ -359,6 +359,7 @@ def test_cli_generated_uml_corpus_feeds_the_toolchain(tmp_path, capsys):
     corpus = tmp_path / "pim.xmi"
     assert main(["generate", "--size", "60", "--seed", "2",
                  "--package", "uml", "--repair", "-o", str(corpus)]) == 0
-    assert main(["validate", str(corpus)]) == 0
+    assert main(["check", str(corpus),
+                 "--families", "structural,invariant,wellformed"]) == 0
     assert main(["metrics", str(corpus)]) == 0
     capsys.readouterr()

@@ -271,3 +271,18 @@ class TestSessionSurface:
                              uml_generator(1).generate(10)])
         with pytest.raises(ValueError, match="roots"):
             two_roots.quality_report()
+
+    def test_stats_document(self):
+        root = uml_generator(3).generate(30)
+        session = Session(root)
+        session.check()
+        document = session.stats()
+        assert isinstance(document["metrics"], dict)
+        assert document["model"]["roots"] == 1
+        assert document["model"]["elements"] > 0
+        assert document["ocl_cache"]        # compile-cache counters
+        # runtime_stats() is the model-free subset the server's global
+        # stats verb and `repro stats --format json` also serve
+        from repro.session import runtime_stats
+        assert "model" not in runtime_stats()
+        assert "metrics" in runtime_stats()
