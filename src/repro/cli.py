@@ -124,8 +124,10 @@ def cmd_check(args: argparse.Namespace) -> int:
             print(f"error: unknown check families {unknown}; expected a "
                   f"subset of {','.join(FAMILIES)}", file=sys.stderr)
             return 2
-    session = Session(load_model(args.model))
-    result = session.check(families=families, severity=args.severity)
+    session = Session(load_model(args.model),
+                      columnar=getattr(args, "columnar", False))
+    result = session.check(families=families, severity=args.severity,
+                           workers=getattr(args, "workers", None))
     emit_check_result(result, args)
     clean = result.ok and not (getattr(args, "strict", False)
                                and result.warnings)
@@ -437,7 +439,8 @@ def cmd_report(args: argparse.Namespace) -> int:
         report = build_quality_report(
             root, platforms=platforms,
             include_traceability=args.traceability,
-            severity=args.severity)
+            severity=args.severity,
+            workers=getattr(args, "workers", None))
         if args.format == "json":
             documents.append(report.to_json())
         else:
@@ -543,12 +546,13 @@ def _run_pipeline(args: argparse.Namespace, stages) -> Session:
 
     with obs.span("cli.load", model=args.model):
         model = load_model(args.model)
-    session = Session(model)
+    session = Session(model, columnar=getattr(args, "columnar", False))
     psm_model = None
     for stage in stages:
         if stage == "check":
             session.check(families=("structural", "invariant",
-                                    "wellformed"))
+                                    "wellformed"),
+                          workers=getattr(args, "workers", None))
         elif stage == "lint":
             session.check(families=("lint",))
         elif stage == "transform":
@@ -754,6 +758,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "lint,consistency)")
     p.add_argument("--strict", action="store_true",
                    help="treat warnings as failures")
+    p.add_argument("--workers", type=int, metavar="N",
+                   help="shard the structural/invariant/constraint "
+                        "families across N forked worker processes "
+                        "(repro.parallel); the document is "
+                        "byte-identical to the sequential run")
+    p.add_argument("--columnar", action="store_true",
+                   help="enable the columnar extent store "
+                        "(repro.mof.columns) so allInstances-heavy OCL "
+                        "and the structural/invariant families scan "
+                        "contiguous columns")
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser(
@@ -902,6 +916,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--platform", action="append",
                    choices=sorted(PLATFORMS))
     p.add_argument("--traceability", action="store_true")
+    p.add_argument("--workers", type=int, metavar="N",
+                   help="shard the structural section across N forked "
+                        "worker processes (repro.parallel)")
     p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("footprint", help="memory footprint vs platform "
@@ -985,6 +1002,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="export format (default prom; json prints the "
                         "same document Session.stats() returns and the "
                         "model server's stats verb serves)")
+    p.add_argument("--columnar", action="store_true",
+                   help="run the pipeline with the columnar extent "
+                        "store enabled; the model block then reports "
+                        "per-extent column counts, bytes and rebuilds")
     p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser(

@@ -51,6 +51,7 @@ from .kernel import (
     set_read_hook,
     set_write_hook,
 )
+from .columns import ColumnStore, ExtentColumns
 from .index import IndexDivergence, ModelIndex
 from .notify import ChangeKind, ChangeRecorder, Notification, set_notify_hook
 from .query import (
@@ -102,6 +103,7 @@ __all__ = [
     "Attribute", "CONTAINER_KEY", "set_read_hook", "set_write_hook",
     "set_notify_hook",
     "DiffKind", "DiffResult", "Difference", "compare", "ChangeKind", "ChangeRecorder", "ClassBuilder",
+    "ColumnStore", "ExtentColumns",
     "CompositionError", "Diagnostic", "DynamicElement", "Element",
     "Feature", "FeatureList", "FrozenElementError", "IndexDivergence",
     "M_01", "M_0N",

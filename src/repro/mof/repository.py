@@ -15,6 +15,7 @@ from .kernel import Element, MetaClass
 from .notify import Notification
 
 if TYPE_CHECKING:                                   # pragma: no cover
+    from .columns import ColumnStore
     from .index import ModelIndex
 
 
@@ -47,6 +48,7 @@ class Model:
         self.repository: Optional["Repository"] = None
         self._observers: List[Callable[[Notification], None]] = []
         self._index: Optional["ModelIndex"] = None
+        self._columns: Optional["ColumnStore"] = None
 
     def add_root(self, element: Element) -> Element:
         """Attach a (container-less) element as a root of this model."""
@@ -62,6 +64,8 @@ class Model:
         # root attachment emits no notification; tell the index directly
         if self._index is not None:
             self._index.root_added(element)
+        if self._columns is not None:
+            self._columns.root_added(element)
         if _ROOT_HOOK is not None:
             _ROOT_HOOK(self, element, True)
         return element
@@ -71,6 +75,8 @@ class Model:
         object.__setattr__(element, "_model", None)
         if self._index is not None:
             self._index.root_removed(element)
+        if self._columns is not None:
+            self._columns.root_removed(element)
         if _ROOT_HOOK is not None:
             _ROOT_HOOK(self, element, False)
 
@@ -81,6 +87,42 @@ class Model:
             from .index import ModelIndex
             self._index = ModelIndex(self)
         return self._index
+
+    def enable_columns(self) -> "ColumnStore":
+        """Turn on the columnar extent store for this model (idempotent).
+
+        Columns are maintained from change notifications like the extent
+        index and rebuilt lazily per metaclass on read — see
+        :mod:`repro.mof.columns` for the staleness protocol."""
+        if self._columns is None:
+            from .columns import ColumnStore
+            self._columns = ColumnStore(self)
+        return self._columns
+
+    def disable_columns(self) -> None:
+        """Drop the columnar store and stop maintaining it."""
+        if self._columns is not None:
+            self._columns.detach()
+            self._columns = None
+
+    def column_store(self) -> Optional["ColumnStore"]:
+        """The model's :class:`~repro.mof.columns.ColumnStore`, or ``None``
+        when columns are not enabled."""
+        return self._columns
+
+    def column_values(self, metaclass: MetaClass, name: str):
+        """Bulk read: effective values of single attribute *name* over all
+        conforming instances, in ``instances_of`` order — or ``None``
+        whenever the per-object path must be used instead (columns off,
+        read hook active, or the feature shape does not columnify).
+
+        This is the entry point the OCL closure compiler's
+        ``allInstances`` fast path calls (see
+        :meth:`repro.ocl.evaluator.Environment.columns`)."""
+        store = self._columns
+        if store is None or _kernel._READ_HOOK is not None:
+            return None
+        return store.conforming_values(metaclass, name)
 
     def all_elements(self) -> Iterator[Element]:
         """Every element in the model: the roots and all their contents."""

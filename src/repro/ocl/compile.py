@@ -114,6 +114,33 @@ def _as_collection(value: Any) -> List[Any]:
     return [value]
 
 
+def _call_plain(name: str, str_op, num_op, source: Any, args: List[Any]) -> Any:
+    """Dot-call dispatch on an evaluated source value.
+
+    Shared verbatim between the compiled ``Call`` closure and the columnar
+    row planner (:mod:`repro.ocl.columns`) so the two paths can never
+    diverge in semantics or error messages."""
+    if isinstance(source, str):
+        if str_op is None:
+            raise OclEvaluationError(f"no String operation {name!r}")
+        return _normalize(str_op(source, args))
+    if isinstance(source, bool):
+        raise OclEvaluationError(f"no operation {name!r} on Boolean")
+    if isinstance(source, (int, float)):
+        if num_op is None:
+            raise OclEvaluationError(f"no numeric operation {name!r}")
+        return _normalize(num_op(source, args))
+    if isinstance(source, Element):
+        fallback = getattr(source, name, None)
+        if callable(fallback):
+            return _normalize(fallback(*args))
+        raise OclEvaluationError(
+            f"'{source.meta.name}' has no operation {name!r}")
+    if source is None:
+        return None
+    raise OclEvaluationError(f"cannot call {name!r} on {source!r}")
+
+
 _MISS = object()
 
 
@@ -278,25 +305,7 @@ class _Compiler:
         def run(env: Environment) -> Any:
             source = source_c(env) if source_c is not None else None
             args = [closure(env) for closure in arg_cs]
-            if isinstance(source, str):
-                if str_op is None:
-                    raise OclEvaluationError(f"no String operation {name!r}")
-                return _normalize(str_op(source, args))
-            if isinstance(source, bool):
-                raise OclEvaluationError(f"no operation {name!r} on Boolean")
-            if isinstance(source, (int, float)):
-                if num_op is None:
-                    raise OclEvaluationError(f"no numeric operation {name!r}")
-                return _normalize(num_op(source, args))
-            if isinstance(source, Element):
-                fallback = getattr(source, name, None)
-                if callable(fallback):
-                    return _normalize(fallback(*args))
-                raise OclEvaluationError(
-                    f"'{source.meta.name}' has no operation {name!r}")
-            if source is None:
-                return None
-            raise OclEvaluationError(f"cannot call {name!r} on {source!r}")
+            return _call_plain(name, str_op, num_op, source, args)
         return run
 
     def _c_type_op(self, node: Call) -> Closure:
@@ -342,7 +351,13 @@ class _Compiler:
                     raise OclEvaluationError(message)
                 return run_unknown_it
             body_c = self.compile(node.body)
-            return maker(source_c, arg_cs, list(node.iterators), body_c)
+            generic = maker(source_c, arg_cs, list(node.iterators), body_c)
+            if name in ("forAll", "exists") and not node.args \
+                    and len(node.iterators) == 1:
+                fast = self._column_quantifier(node, generic)
+                if fast is not None:
+                    return fast
+            return generic
         plain = COLLECTION_OPS.plain.get(name)
         if plain is None:
             message = f"unknown collection operation ->{name}()"
@@ -359,6 +374,49 @@ class _Compiler:
             args = [closure(env) for closure in arg_cs]
             return _normalize(
                 plain(_EVALUATOR, env, _as_collection(source), args))
+        return run
+
+    def _column_quantifier(self, node: ArrowCall,
+                           generic: Closure) -> Optional[Closure]:
+        """The bulk-read fast path for
+        ``Type.allInstances()->forAll(x | <x.attr test>)`` (and
+        ``exists``): when the environment's instance scope is backed by a
+        :class:`~repro.mof.columns.ColumnStore`, the quantifier runs as a
+        tight loop over the attribute's contiguous column instead of
+        binding an iterator variable and navigating per element.
+
+        The predicate reuses the compiler's own ``truthy``/``_equal``/
+        ``_compare`` helpers and the column holds exactly the effective
+        values ``_get_value`` would return in the same extent order, so
+        results *and* first-error behaviour match the generic closure —
+        which stays attached as the transparent fallback for cold or
+        object-backed scopes (``env.columns`` returning ``None``)."""
+        source = node.source
+        if not (isinstance(source, Call) and source.name == "allInstances"
+                and source.source is not None and not source.args):
+            return None
+        predicate = _column_predicate(node.body, node.iterators[0])
+        if predicate is None:
+            return None
+        attr, test = predicate
+        type_c = self.compile(source.source)
+        forall = node.name == "forAll"
+
+        def run(env: Environment) -> Any:
+            metaclass = type_c(env)
+            if isinstance(metaclass, MetaClass):
+                column = env.columns(metaclass, attr)
+                if column is not None:
+                    if forall:
+                        for value in column:
+                            if not test(value):
+                                return False
+                        return True
+                    for value in column:
+                        if test(value):
+                            return True
+                    return False
+            return generic(env)
         return run
 
     # -- operators --------------------------------------------------------
@@ -707,6 +765,60 @@ _ITERATOR_COMPILERS = {
     "sortedBy": _mk_sorted_by,
     "closure": _mk_closure,
 }
+
+
+def _column_predicate(
+        body: Node, itervar: str
+) -> Optional[Tuple[str, Callable[[Any], Any]]]:
+    """Recognise quantifier bodies of the shape ``<itervar>.attr <test>``
+    and return ``(attr, value -> bool)``, or ``None`` for anything the
+    column fast path cannot express.
+
+    Supported tests (each built from the exact helper the generic closure
+    would call, so error behaviour is identical): bare boolean attribute,
+    ``not``, ``oclIsUndefined`` (optionally negated), and comparison
+    against a literal on either side."""
+    def nav_attr(node: Any) -> Optional[str]:
+        if isinstance(node, Nav) and isinstance(node.source, Ident) \
+                and node.source.name == itervar:
+            return node.name
+        return None
+
+    attr = nav_attr(body)
+    if attr is not None:
+        return attr, truthy
+    if isinstance(body, UnOp) and body.op == "not":
+        inner = _column_predicate(body.operand, itervar)
+        if inner is None:
+            return None
+        attr, test = inner
+        return attr, lambda value: not truthy(test(value))
+    if isinstance(body, Call) and body.name == "oclIsUndefined" \
+            and not body.args:
+        attr = nav_attr(body.source)
+        if attr is not None:
+            return attr, lambda value: value is None
+        return None
+    if isinstance(body, BinOp) \
+            and body.op in ("=", "<>", "<", "<=", ">", ">="):
+        op = body.op
+        attr = nav_attr(body.left)
+        if attr is not None and isinstance(body.right, Literal):
+            literal = body.right.value
+            if op == "=":
+                return attr, lambda value: _equal(value, literal)
+            if op == "<>":
+                return attr, lambda value: not _equal(value, literal)
+            return attr, lambda value: _compare(op, value, literal)
+        attr = nav_attr(body.right)
+        if attr is not None and isinstance(body.left, Literal):
+            literal = body.left.value
+            if op == "=":
+                return attr, lambda value: _equal(literal, value)
+            if op == "<>":
+                return attr, lambda value: not _equal(literal, value)
+            return attr, lambda value: _compare(op, literal, value)
+    return None
 
 
 def _make_navigator(name: str) -> Callable[[Any], Any]:

@@ -198,6 +198,9 @@ class ConstraintSet:
         # for Element scopes and while dependency tracking is active
         # (the incremental engine must observe the per-element reads).
         indexed = isinstance(scope, Model) and _kernel._READ_HOOK is None
+        column_store = scope.column_store() if indexed else None
+        if column_store is not None:
+            from .columns import flag_constraint_suspects
         elements: Iterable[Element]
         if indexed:
             elements = ()
@@ -208,7 +211,16 @@ class ConstraintSet:
         for inv in self.invariants:
             candidates = (scope.instances_of(inv.context) if indexed
                           else elements)
+            # Columnar suspect scan: evaluate the invariant extent-wide
+            # as a row plan and re-run holds() only where a diagnostic is
+            # certain — candidate order (and thus the report) unchanged.
+            # None means some conforming block wasn't plannable; then the
+            # full candidate loop below is the evaluation.
+            flagged = (flag_constraint_suspects(inv, column_store)
+                       if column_store is not None else None)
             for element in candidates:
+                if flagged is not None and id(element) not in flagged:
+                    continue
                 if not indexed and not element.meta.conforms_to(inv.context):
                     continue
                 try:

@@ -74,6 +74,13 @@ class RepoState:
         self.watchers: Dict[int, "ServerConnection"] = {}
         self.edits_applied = 0
         self.edits_rejected = 0
+        # cross-connection check-result cache: (families, severity,
+        # workers, columnar) -> the check document computed at the
+        # current epoch.  Check results are pure functions of (model
+        # state, parameters), and model state only changes through
+        # committed edit-txns — so the cache is cleared exactly on epoch
+        # bump and any connection may reuse any other's document.
+        self.check_cache: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
 
     def summary(self) -> Dict[str, Any]:
         return {
@@ -356,22 +363,43 @@ class ServerConnection:
                               "'families' must be a list of family names")
         severity = params.get("severity")
         incremental = bool(params.get("incremental", True))
+        workers = params.get("workers")
+        if workers is not None and (not isinstance(workers, int)
+                                    or isinstance(workers, bool)):
+            raise ServerError("bad-params", "'workers' must be an integer")
+        columnar = bool(params.get("columnar", False))
+        key = (tuple(families) if families is not None else None,
+               severity, workers, columnar)
         with state.lock:
-            try:
-                if incremental:
-                    engine = self._engine(state, families)
-                    engine.revalidate()
-                    result = engine.check_result()
-                else:
-                    result = state.session.check(families=families)
-            except ValueError as exc:
-                raise ServerError("bad-params", str(exc))
-            if severity is not None:
+            cached = state.check_cache.get(key)
+            _metrics.REGISTRY.counter(
+                "server.check_cache",
+                help="cross-connection check-result cache lookups",
+                result="hit" if cached is not None else "miss").inc()
+            if cached is not None:
+                document = dict(cached)
+            else:
+                if columnar:
+                    state.model.enable_columns()
                 try:
-                    result = result.filtered(severity)
+                    if incremental and not (workers and workers > 1):
+                        engine = self._engine(state, families)
+                        engine.revalidate()
+                        result = engine.check_result()
+                    else:
+                        # workers forces the full-pass path: sharding is
+                        # full-pass only (repro.parallel)
+                        result = state.session.check(families=families,
+                                                     workers=workers)
                 except ValueError as exc:
                     raise ServerError("bad-params", str(exc))
-            document = result.to_json()
+                if severity is not None:
+                    try:
+                        result = result.filtered(severity)
+                    except ValueError as exc:
+                        raise ServerError("bad-params", str(exc))
+                document = result.to_json()
+                state.check_cache[key] = dict(document)
         document["repo"] = state.name
         document["epoch"] = state.epoch
         return document
@@ -419,6 +447,7 @@ class ServerConnection:
                 applied, touched = self._apply_ops(state, ops)
             state.epoch += 1
             state.edits_applied += 1
+            state.check_cache.clear()     # documents were per-epoch
             epoch = state.epoch
             self._notify_watchers(state, touched)
         return {"repo": state.name, "epoch": epoch, "applied": applied,

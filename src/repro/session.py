@@ -36,6 +36,7 @@ from .mof.validate import (
     Diagnostic,
     Severity,
     ValidationReport,
+    validate_element,
     validate_invariants,
     validate_tree,
 )
@@ -186,13 +187,19 @@ class Session:
     def __init__(self, scope: Scope, *,
                  constraint_sets: Iterable[Any] = (),
                  registry: Optional[RuleRegistry] = None,
-                 lint_config: Optional[LintConfig] = None):
+                 lint_config: Optional[LintConfig] = None,
+                 columnar: bool = False):
         from .incremental.engine import IncrementalEngine
         self.scope = scope
         self.model = IncrementalEngine._resolve_scope(scope)
         self.constraint_sets = list(constraint_sets)
         self.registry = registry
         self.lint_config = lint_config
+        if columnar:
+            # per-metaclass struct-of-arrays extents (repro.mof.columns):
+            # allInstances-heavy OCL and the structural/invariant families
+            # run over contiguous columns instead of per-object slots
+            self.model.enable_columns()
         #: the :class:`~repro.generate.GenerationResult` behind this
         #: session, when it was opened via :meth:`Session.generate`
         self.generation: Optional[Any] = None
@@ -229,19 +236,31 @@ class Session:
     # -- batch checking ----------------------------------------------------
 
     def check(self, families: Optional[Iterable[str]] = None, *,
-              severity: Union[str, Severity, None] = None) -> CheckResult:
+              severity: Union[str, Severity, None] = None,
+              workers: Optional[int] = None) -> CheckResult:
         """Run the requested checker *families*; merge their diagnostics.
 
         With ``families=None``, runs structural, invariant, wellformed,
         lint and cross-diagram consistency checks — plus constraint
         checks when the session has constraint sets.  *severity* keeps
         only diagnostics at or above the given floor.
+
+        ``workers=N`` (N > 1) shards the structural, invariant and
+        constraint families across N forked worker processes
+        (:mod:`repro.parallel`); the other families run in-process.
+        The merged document is byte-identical to the sequential run.
         """
         selected = self._resolve_families(families)
+        sharded: Dict[str, List[Diagnostic]] = {}
+        if workers is not None and workers > 1:
+            sharded = self._check_sharded(selected, workers) or {}
         by_family: Dict[str, List[Diagnostic]] = {}
         with (_trace.span("session.check", families=",".join(selected))
               if _trace.ON else _trace.NULL_SPAN):
             for family in selected:
+                if family in sharded:
+                    by_family[family] = sharded[family]
+                    continue
                 with (_trace.span(f"session.check.{family}")
                       if _trace.ON else _trace.NULL_SPAN):
                     if family == "lint":
@@ -279,14 +298,96 @@ class Session:
             selected = tuple(f for f in FAMILIES if f in requested)
         return selected
 
+    def _active_column_store(self) -> Optional[Any]:
+        """The model's column store when its fast paths may be used:
+        enabled, and no dependency read hook (incremental tracking must
+        observe per-element reads a bulk scan would hide)."""
+        from .mof import kernel as _kernel
+        store = self.model.column_store()
+        if store is None or _kernel._READ_HOOK is not None:
+            return None
+        return store
+
+    def _check_sharded(self, selected: Tuple[str, ...], workers: int
+                       ) -> Optional[Dict[str, List[Diagnostic]]]:
+        from .mof import kernel as _kernel
+        if _kernel._READ_HOOK is not None:
+            return None
+        from .parallel import SHARDABLE_FAMILIES, parallel_check
+        shardable = [f for f in selected if f in SHARDABLE_FAMILIES]
+        if not shardable:
+            return None
+        groups = (self._constraint_groups()
+                  if "constraint" in shardable else ())
+        return parallel_check(self.model.roots, shardable, groups,
+                              workers=workers)
+
+    def _constraint_groups(self) -> List[Any]:
+        """Every (invariant, candidate list) the ``constraint`` family
+        evaluates, in its exact (set, scope, invariant) order — the
+        partition units :func:`repro.parallel.parallel_check` shards."""
+        scopes: List[Union[Model, Element]]
+        if isinstance(self.scope, (Model, Element)):
+            scopes = [self.scope]
+        else:
+            scopes = list(self.model.roots)
+        groups: List[Any] = []
+        for constraint_set in self.constraint_sets:
+            for scope in scopes:
+                if isinstance(scope, Model):
+                    for inv in constraint_set.invariants:
+                        groups.append(
+                            (inv, scope.instances_of(inv.context)))
+                else:
+                    elements = [scope] + list(scope.all_contents())
+                    for inv in constraint_set.invariants:
+                        groups.append(
+                            (inv, [e for e in elements
+                                   if e.meta.conforms_to(inv.context)]))
+        return groups
+
     def _check_structural(self) -> List[Diagnostic]:
-        out: List[Diagnostic] = []
+        store = self._active_column_store()
+        if store is not None:
+            # columnar fast path: one bulk scan over the extent columns
+            # flags every element that *could* carry a structural
+            # diagnostic; only suspects get the per-object validator,
+            # visited in the sequential walk order (clean elements emit
+            # nothing, so the report is unchanged)
+            suspects = store.scan_structural()
+            out: List[Diagnostic] = []
+            if suspects:
+                for root in self.model.roots:
+                    for element in [root, *root.all_contents()]:
+                        if id(element) in suspects:
+                            out.extend(
+                                validate_element(
+                                    element, check_invariants=False)
+                                .diagnostics)
+            return out
+        out = []
         for root in self.model.roots:
             out.extend(validate_tree(root, check_invariants=False)
                        .diagnostics)
         return out
 
     def _check_invariant(self) -> List[Diagnostic]:
+        store = self._active_column_store()
+        if store is not None:
+            # columnar fast path: invariants run extent-wide as row
+            # plans (repro.ocl.columns); the flagged set is exact, and
+            # holds() re-runs per suspect in walk order reproduce the
+            # sequential diagnostics byte for byte
+            from .mof.validate import _check_invariants
+            from .ocl.columns import flag_registered_suspects
+            flagged = flag_registered_suspects(store)
+            report = ValidationReport()
+            if flagged:
+                for root in self.model.roots:
+                    for element in [root, *root.all_contents()]:
+                        if id(element) in flagged:
+                            _check_invariants(element, report)
+            return report.diagnostics
         out: List[Diagnostic] = []
         for root in self.model.roots:
             out.extend(validate_invariants(root).diagnostics)
@@ -399,11 +500,14 @@ class Session:
         this one method so they can never drift apart.
         """
         document = runtime_stats()
+        store = self.model.column_store()
         document["model"] = {
             "uri": self.model.uri,
             "roots": len(self.model.roots),
             "elements": self.model.size(),
             "index": self.model.index().stats(),
+            "columns": (store.stats() if store is not None
+                        else {"enabled": False}),
         }
         return document
 

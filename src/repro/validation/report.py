@@ -85,7 +85,8 @@ def build_quality_report(root: Package, *,
                          max_coupling_density: float = 0.75,
                          max_single_operation_ratio: float = 0.5,
                          incremental=None,
-                         severity: Optional[str] = None) -> QualityReport:
+                         severity: Optional[str] = None,
+                         workers: Optional[int] = None) -> QualityReport:
     """Run every applicable model test over *root* and fold the results.
 
     When *incremental* is a primed
@@ -98,6 +99,11 @@ def build_quality_report(root: Package, *,
     diagnostic lines below it are omitted from the diagnostic sections.
     Section verdicts are always computed from the unfiltered reports —
     the floor hides lines, it never flips PASS/FAIL.
+
+    ``workers=N`` (N > 1, full-pass runs only) shards the structural
+    section's tree validation across N forked worker processes
+    (:func:`repro.parallel.parallel_validate_tree`); ignored when
+    *incremental* serves the sections from its caches.
 
     This is the building block behind
     :meth:`repro.session.Session.quality_report`.
@@ -115,7 +121,12 @@ def build_quality_report(root: Package, *,
         lint = kinds.get("lint", ValidationReport())
         consistency = kinds.get("consistency", ValidationReport())
     else:
-        structural = validate_tree(root)
+        structural = None
+        if workers is not None and workers > 1:
+            from ..parallel import parallel_validate_tree
+            structural = parallel_validate_tree(root, workers=workers)
+        if structural is None:
+            structural = validate_tree(root)
         wellformed = run_wellformed_rules(root)
         lint = ModelLinter(config=LintConfig(
             disabled={"uml-wellformed"})).lint(root)

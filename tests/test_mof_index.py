@@ -45,6 +45,16 @@ def assert_index_matches_scans(model):
                 metaclass.name, exact)
 
 
+def assert_columns_match_objects(model):
+    """Build every extent block, then oracle-check each column cell
+    against a per-object read (the ColumnStore property-test oracle)."""
+    store = model.column_store()
+    assert store is not None
+    for metaclass in store.extent_metaclasses():
+        store.block(metaclass)
+    assert store.verify() == []
+
+
 class TestIndexMaintenance:
     @pytest.mark.parametrize("seed", [0, 1, 2, 3])
     def test_extents_survive_fuzzed_edits(self, seed):
@@ -99,6 +109,62 @@ class TestIndexMaintenance:
         # per-element reads dependency tracking relies on
         assert sorted(map(id, scanned)) == sorted(map(id, indexed))
         assert reads
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_columns_survive_fuzzed_edits(self, seed):
+        # same drive as the index fuzz, but with the columnar store
+        # attached: every round rebuilds the stale blocks lazily and the
+        # verify() oracle cross-checks each cell against object reads
+        root = demo_generator(seed).generate(40)
+        model = Model(f"urn:colfuzz{seed}")
+        model.add_root(root)
+        model.enable_columns()
+        assert_columns_match_objects(model)     # warm before the edits
+        fuzzer = EditFuzzer(root, seed=seed)
+        for _round in range(12):
+            fuzzer.apply_random_edits(15)
+            assert_index_matches_scans(model)
+            assert_columns_match_objects(model)
+
+    def test_columns_root_add_and_remove(self):
+        pkg = demo_package()
+        book = pkg.classifier("GBook")
+        model = Model("urn:colroots")
+        model.add_root(demo_generator(1).generate(15))
+        store = model.enable_columns()
+        assert_columns_match_objects(model)
+        second = demo_generator(2).generate(15)
+        model.add_root(second)
+        assert_columns_match_objects(model)
+        values = store.conforming_values(book, "pages")
+        assert values is not None
+        assert len(values) == len(model.instances_of(book))
+        model.remove_root(second)
+        assert_columns_match_objects(model)
+        values = store.conforming_values(book, "pages")
+        assert len(values) == len(model.instances_of(book))
+
+    def test_columns_fresh_after_aborted_transaction(self):
+        from repro.mof import transaction
+        root = demo_generator(7).generate(30)
+        model = Model("urn:coltxn")
+        model.add_root(root)
+        model.enable_columns()
+        assert_columns_match_objects(model)
+        fuzzer = EditFuzzer(root, seed=7, profile="destructive")
+
+        class Abort(RuntimeError):
+            pass
+
+        for _round in range(3):
+            with pytest.raises(Abort):
+                with transaction():
+                    fuzzer.apply_random_edits(10)
+                    assert_columns_match_objects(model)   # mid-txn reads
+                    raise Abort
+            # rollback replays inverses through the same notifications,
+            # so the rebuilt columns must match the restored objects
+            assert_columns_match_objects(model)
 
     def test_verify_reports_divergence(self):
         root = demo_generator(6).generate(10)

@@ -177,6 +177,78 @@ class TestVerbs:
                 client.request("check", repo="ghost")
             assert excinfo.value.code == "no-such-repo"
 
+
+class TestCheckCache:
+    """The per-repo check-result cache is shared across connections and
+    keyed on (families, severity, workers, columnar); an edit-txn epoch
+    bump invalidates it wholesale."""
+
+    @staticmethod
+    def _cache_counts():
+        from repro.obs.metrics import REGISTRY
+        hit = REGISTRY.get("server.check_cache", result="hit")
+        miss = REGISTRY.get("server.check_cache", result="miss")
+        return ((hit.value if hit else 0), (miss.value if miss else 0))
+
+    def test_identical_checks_hit_across_connections(self, server):
+        host_corpus(server)
+        with InProcessClient(server) as first, \
+                InProcessClient(server) as second:
+            hits0, misses0 = self._cache_counts()
+            mine = first.request("check", repo="main")
+            theirs = second.request("check", repo="main")
+            assert theirs == mine
+            hits1, misses1 = self._cache_counts()
+            assert misses1 == misses0 + 1
+            assert hits1 == hits0 + 1
+
+    def test_different_parameters_miss(self, server):
+        host_corpus(server)
+        with InProcessClient(server) as client:
+            _, misses0 = self._cache_counts()
+            client.request("check", repo="main")
+            client.request("check", repo="main", severity="error")
+            client.request("check", repo="main",
+                           families=["structural"])
+            _, misses1 = self._cache_counts()
+            assert misses1 == misses0 + 3
+
+    def test_epoch_bump_invalidates(self, server):
+        state = host_corpus(server)
+        eid = named_eids(state, 1)[0]
+        with InProcessClient(server) as client:
+            stale = client.request("check", repo="main")
+            assert stale["epoch"] == 0
+            client.request("edit-txn", repo="main", base_epoch=0,
+                           ops=[rename_op(eid, "CacheBuster")])
+            assert state.check_cache == {}
+            hits0, misses0 = self._cache_counts()
+            fresh = client.request("check", repo="main")
+            assert fresh["epoch"] == 1
+            hits1, misses1 = self._cache_counts()
+            assert (hits1, misses1) == (hits0, misses0 + 1)
+
+    def test_cached_document_is_a_copy(self, server):
+        host_corpus(server)
+        with InProcessClient(server) as client:
+            first = client.request("check", repo="main")
+            first["families"] = "mutated by the caller"
+            again = client.request("check", repo="main")
+            assert again["families"] != "mutated by the caller"
+
+    def test_workers_and_columnar_parity_over_the_wire(self, server):
+        host_corpus(server)
+        with InProcessClient(server) as client:
+            serial = client.request("check", repo="main",
+                                    incremental=False)
+            sharded = client.request("check", repo="main", workers=2)
+            columnar = client.request("check", repo="main",
+                                      columnar=True, incremental=False)
+            assert sharded == serial
+            assert columnar == serial
+
+
+class TestEditTxn:
     def test_edit_txn_applies_and_bumps_epoch(self, server):
         state = host_corpus(server)
         eid = named_eids(state, 1)[0]
@@ -343,6 +415,14 @@ class TestIsolation:
             baseline = (mine.stats.revalidations, mine.stats.unit_runs)
             for _ in range(3):
                 second.request("check", repo="alpha")
+            # identical same-epoch checks are served from the repo's
+            # check cache: the second client never even builds an
+            # engine, let alone touches mine
+            assert "alpha" not in second._conn.engines
+            assert (mine.stats.revalidations,
+                    mine.stats.unit_runs) == baseline
+            # a differently-parameterized check does build its own
+            second.request("check", repo="alpha", severity="error")
             theirs = second._conn.engines["alpha"]
             assert theirs is not mine
             assert (mine.stats.revalidations,
