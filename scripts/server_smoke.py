@@ -5,7 +5,8 @@ CI drives the real CLI surface end to end, the way a team would:
 1. start `python -m repro serve` as a subprocess on an ephemeral port,
    pre-loading a generated corpus;
 2. race 4 concurrent TCP editors on the same epoch, each committing
-   EDITS edit-txns via conflict/replay — assert nothing is lost
+   EDITS edit-txns through a RetryPolicy (jittered backoff replaying
+   conflicts with a refreshed base_epoch) — assert nothing is lost
    (final epoch == total applied, zero failures);
 3. verify over `rpc`-style requests that check/stats still answer;
 4. SIGINT the server and require a clean "shutting down" exit 0.
@@ -32,7 +33,9 @@ def fail(reason):
 
 
 def main():
-    from repro.server import RemoteError, TcpClient
+    import random
+
+    from repro.server import RetryPolicy, TcpClient
     from repro.session import Session
     from repro.xmi import write_xml
 
@@ -72,11 +75,15 @@ def main():
             fail("stats element count mismatch")
 
         failures = []
+        replays = []
         barrier = threading.Barrier(EDITORS)
 
         def editor(tag):
             try:
-                with TcpClient(host, port) as client:
+                policy = RetryPolicy(attempts=32, base_delay=0.01,
+                                     max_delay=0.25,
+                                     rng=random.Random(hash(tag) & 0xFF))
+                with TcpClient(host, port, retry=policy) as client:
                     epoch = client.request("check", repo="main")["epoch"]
                     barrier.wait()
                     for index in range(EDITS):
@@ -85,19 +92,12 @@ def main():
                                                 % len(eids)],
                                 "feature": "name",
                                 "value": f"{tag}-{index}"}]
-                        while True:
-                            try:
-                                epoch = client.request(
-                                    "edit-txn", repo="main",
-                                    base_epoch=epoch, ops=ops)["epoch"]
-                                break
-                            except RemoteError as error:
-                                if error.code != "conflict":
-                                    raise
-                                if not error.data.get("replayable"):
-                                    raise AssertionError(
-                                        "conflict not replayable")
-                                epoch = error.data["current_epoch"]
+                        # conflicts are replayed by the policy, which
+                        # refreshes base_epoch from the error itself
+                        epoch = client.request(
+                            "edit-txn", repo="main",
+                            base_epoch=epoch, ops=ops)["epoch"]
+                    replays.append(policy.retried)
             except Exception as error:  # noqa: BLE001 — report, don't hang
                 failures.append(f"{tag}: {error!r}")
 
@@ -118,7 +118,8 @@ def main():
         if summary["edits_applied"] != expected:
             fail(f"edits_applied {summary['edits_applied']} != {expected}")
         print(f"server_smoke: {expected} edit-txns applied, "
-              f"{summary['edits_rejected']} conflicts replayed, "
+              f"{summary['edits_rejected']} conflicts replayed "
+              f"({sum(replays)} client retries), "
               f"epoch {summary['epoch']}")
 
         proc.send_signal(signal.SIGINT)

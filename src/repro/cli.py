@@ -639,21 +639,43 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from .server import PROTOCOL_VERSION, ModelServer, TcpServer
 
-    server = ModelServer(max_frame=args.max_frame)
+    server = ModelServer(max_frame=args.max_frame, wal_dir=args.wal_dir)
+    for repo in server.recovered:
+        state = server.repos[repo]
+        print(f"recovered repository {repo!r} from write-ahead log "
+              f"(epoch {state.epoch}, {state.edits_applied} txns "
+              f"replayed)")
     for spec in args.load or []:
         name, _, path = spec.partition("=")
         if not name or not path:
             print(f"error: --load expects NAME=PATH, got {spec!r}",
                   file=sys.stderr)
             return 2
+        if name in server.repos:
+            print(f"repository {name!r} already recovered; "
+                  f"ignoring --load {spec}")
+            continue
         server.attach(name, Session(load_model(path)))
         print(f"loaded repository {name!r} from {path}")
     tcp = TcpServer(server, args.host, args.port)
     host, port = tcp.address
     print(f"repro model server (protocol v{PROTOCOL_VERSION}) "
-          f"listening on {host}:{port}; ctrl-C to stop")
+          f"listening on {host}:{port}; ctrl-C to stop, "
+          f"SIGTERM to drain", flush=True)
+
+    def on_sigterm(_signum, _frame):
+        print("draining: stopped accepting; finishing inflight "
+              "requests and flushing write-ahead logs", flush=True)
+        stats = tcp.drain(timeout=args.drain_timeout)
+        print(f"drained (cancelled={stats['cancelled']}, "
+              f"interrupted={stats['interrupted']})", flush=True)
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, on_sigterm)
     try:
         tcp.serve_forever()
     except KeyboardInterrupt:
@@ -666,7 +688,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def cmd_rpc(args: argparse.Namespace) -> int:
     import json as _json
 
-    from .server import RemoteError, TcpClient
+    from .server import RemoteError, RetryPolicy, TcpClient, TransportError
     from .session import render_check_document
 
     host, _, port_text = args.connect.rpartition(":")
@@ -692,8 +714,10 @@ def cmd_rpc(args: argparse.Namespace) -> int:
         params.setdefault("repo", args.repo)
     if args.severity and args.verb == "check":
         params.setdefault("severity", args.severity)
+    retry = RetryPolicy(attempts=args.retries + 1) if args.retries \
+        else None
     try:
-        with TcpClient(host or "127.0.0.1", port) as client:
+        with TcpClient(host or "127.0.0.1", port, retry=retry) as client:
             result = client.request(args.verb, **params)
     except RemoteError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -701,7 +725,7 @@ def cmd_rpc(args: argparse.Namespace) -> int:
             print(_json.dumps(exc.data, indent=2, sort_keys=True),
                   file=sys.stderr)
         return 1
-    except (OSError, ConnectionError) as exc:
+    except (TransportError, OSError, ConnectionError) as exc:
         print(f"error: cannot reach {args.connect}: {exc}",
               file=sys.stderr)
         return 2
@@ -1027,6 +1051,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "(repeatable)")
     p.add_argument("--max-frame", type=int, default=None, metavar="BYTES",
                    help="per-frame byte ceiling (default 8 MiB)")
+    p.add_argument("--wal-dir", metavar="DIR",
+                   help="write-ahead log directory: every committed "
+                        "edit-txn is fsynced there before it is "
+                        "acknowledged, and pending logs are replayed "
+                        "on start (crash recovery)")
+    p.add_argument("--drain-timeout", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="on SIGTERM, wait this long for inflight "
+                        "requests before closing (default 5)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -1048,6 +1081,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--params", metavar="JSON",
                    help="verb params as a JSON object")
     p.add_argument("--repo", help="shorthand for the repo param")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry the request up to N times with jittered "
+                        "backoff on conflict/overloaded/deadline-"
+                        "exceeded/draining responses and transient "
+                        "network failures (default 0 = no retry)")
     p.set_defaults(fn=cmd_rpc)
     return parser
 

@@ -24,7 +24,19 @@ recovery machinery protects:
     the staged file-IO protocol in :mod:`repro.xmi.persist`;
     ``io.write.partial`` fires after half the payload is on disk, so an
     armed plan leaves a torn temp file behind — exactly the crash an
-    atomic save must survive.
+    atomic save must survive;
+``wal.append``
+    each write-ahead-log append in :mod:`repro.server.durability`,
+    fired before the record's bytes reach the file — the append fails,
+    the edit transaction rolls back, and the log must be truncated to
+    its pre-append length so disk and memory agree;
+``wal.replay``
+    each recovered transaction re-applied during server-start WAL
+    recovery — a failed recovery must be retryable and idempotent;
+``net.read`` / ``net.write``
+    each socket receive/send on the server side of the TCP transport
+    (:mod:`repro.server.transport`) — the connection dies, the server
+    keeps serving, and a retrying client converges anyway.
 
 Determinism: a plan is seeded, and every decision consumes the plan's
 own RNG in probe-firing order, so the same (seed, workload) always

@@ -24,12 +24,36 @@ stale ``edit-txn`` is rejected with a replayable ``conflict`` error,
 and each connection keeps its own warm incremental engine per
 repository.  See :mod:`repro.server.dispatch` for the concurrency
 model and :mod:`repro.server.protocol` for the wire contract.
+
+Durability and liveness (:mod:`repro.server.durability`,
+:mod:`repro.server.transport`): a server started with ``wal_dir=``
+write-ahead logs every committed ``edit-txn`` (fsync before ack) and
+replays pending logs on start, so a ``kill -9`` never loses an
+acknowledged edit; per-verb deadlines, bounded inflight queues, and
+slowloris eviction bound every request, and :class:`RetryPolicy` gives
+clients jittered, budget-capped replay of ``conflict`` and transient
+failures.
 """
 
-from .dispatch import PROTOCOL_VERSION, ModelServer, RepoState, VERBS
+from .dispatch import (
+    DEFAULT_DEADLINES,
+    PROTOCOL_VERSION,
+    VERBS,
+    ModelServer,
+    RepoState,
+    apply_edit_ops,
+)
+from .durability import (
+    WalCorruptError,
+    WalError,
+    WriteAheadLog,
+    pending_logs,
+    recover_repo,
+)
 from .protocol import (
     ERROR_CODES,
     MAX_FRAME_BYTES,
+    TRANSIENT_CODES,
     ProtocolError,
     ServerError,
     decode_frame,
@@ -38,12 +62,15 @@ from .protocol import (
 from .transport import (
     InProcessClient,
     RemoteError,
+    RetryPolicy,
     TcpClient,
     TcpServer,
+    TransportError,
     serve_tcp,
 )
 
 __all__ = [
+    "DEFAULT_DEADLINES",
     "ERROR_CODES",
     "InProcessClient",
     "MAX_FRAME_BYTES",
@@ -52,11 +79,20 @@ __all__ = [
     "ProtocolError",
     "RemoteError",
     "RepoState",
+    "RetryPolicy",
     "ServerError",
+    "TRANSIENT_CODES",
     "TcpClient",
     "TcpServer",
+    "TransportError",
     "VERBS",
+    "WalCorruptError",
+    "WalError",
+    "WriteAheadLog",
+    "apply_edit_ops",
     "decode_frame",
     "encode_frame",
+    "pending_logs",
+    "recover_repo",
     "serve_tcp",
 ]

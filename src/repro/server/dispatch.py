@@ -38,6 +38,7 @@ reports each engine's checker quarantine.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -46,7 +47,9 @@ from ..mof.kernel import Element, MetaClass, MetaPackage
 from ..mof.repository import Model
 from ..mof.txn import transaction
 from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from ..session import Session
+from . import durability as _durability
 from .protocol import (
     ProtocolError,
     ServerError,
@@ -59,7 +62,141 @@ from .protocol import (
 #: Wire protocol revision, reported by ``stats`` and the serve banner.
 PROTOCOL_VERSION = 1
 
+#: Per-verb wall-clock budgets (seconds).  A request past its budget is
+#: shed before it runs, and the long verbs re-check cooperatively at
+#: safe points (per edit op, before a cache-missing check) so a blown
+#: deadline aborts with everything rolled back.
+DEFAULT_DEADLINES: Dict[str, float] = {
+    "ping": 5.0,
+    "close": 5.0,
+    "stats": 10.0,
+    "watch": 30.0,
+    "check": 30.0,
+    "edit-txn": 15.0,
+    "load": 60.0,
+    "generate": 120.0,
+}
+
+#: Budget for verbs not named in the deadline table.
+DEFAULT_DEADLINE = 30.0
+
 _repo_counter = itertools.count(1)
+
+
+# ---------------------------------------------------------------------------
+# Edit-op application (shared by the edit-txn verb and WAL replay)
+# ---------------------------------------------------------------------------
+
+def apply_edit_ops(resolve_metaclass: Callable[[str], MetaClass],
+                   model: Model, ops: List[Any], *,
+                   pin_eids: bool = False,
+                   created: Optional[Dict[int, Element]] = None,
+                   deadline_check: Optional[Callable[[], None]] = None
+                   ) -> None:
+    """Apply one ``edit-txn`` op batch against *model*.
+
+    The caller owns transactional scope (the live verb wraps this in a
+    kernel transaction and rolls back on any raise; WAL replay wraps
+    each recovered record the same way).  With ``pin_eids`` a
+    ``create`` op carrying an ``eid`` key re-assigns the recorded id,
+    so replayed state resolves identically to the live run that logged
+    it; *created* (op index -> element) collects new elements so the
+    live run can annotate the log record.
+    """
+    aliases: Dict[str, Element] = {}
+    for index, op in enumerate(ops):
+        if deadline_check is not None:
+            deadline_check()
+        if not isinstance(op, dict):
+            raise ServerError("bad-params",
+                              f"op #{index} must be an object")
+        _apply_edit_op(resolve_metaclass, model, op, aliases, index,
+                       pin_eids, created)
+
+
+def _apply_edit_op(resolve_metaclass: Callable[[str], MetaClass],
+                   model: Model, op: Dict[str, Any],
+                   aliases: Dict[str, Element], index: int,
+                   pin_eids: bool,
+                   created: Optional[Dict[int, Element]]) -> None:
+    kind = op.get("op")
+    resolve = lambda ref: _resolve_edit_ref(model, ref, aliases, index)
+    if kind == "create":
+        metaclass = resolve_metaclass(_require_param(op, "metaclass", str))
+        element = metaclass.instantiate(**(op.get("attrs") or {}))
+        if pin_eids and "eid" in op:
+            element.set_eid(op["eid"])
+        if created is not None:
+            created[index] = element
+        if "parent" in op:
+            parent = resolve(op["parent"])
+            feature = _require_param(op, "feature", str)
+            slot = parent.eget(feature)
+            if hasattr(slot, "append"):
+                slot.append(element)
+            else:
+                parent.eset(feature, element)
+        else:
+            model.add_root(element)
+        if "as" in op:
+            aliases[str(op["as"])] = element
+        return
+    if kind == "delete":
+        element = resolve(_require_param(op, "element", str))
+        if element in model.roots:
+            model.remove_root(element)
+        element.delete()
+        return
+    element = resolve(_require_param(op, "element", str))
+    feature = _require_param(op, "feature", str)
+    if "ref" in op:
+        value = _resolve_edit_ref(model, op["ref"], aliases, index)
+    else:
+        value = op.get("value")
+    if kind == "set":
+        element.eset(feature, value)
+    elif kind == "unset":
+        element.eunset(feature)
+    elif kind == "add":
+        element.eget(feature).append(value)
+    elif kind == "remove":
+        element.eget(feature).remove(value)
+    else:
+        raise ServerError(
+            "bad-params",
+            f"op #{index}: unknown op kind {kind!r} (expected "
+            f"create/delete/set/unset/add/remove)")
+
+
+def _resolve_edit_ref(model: Model, ref: Any,
+                      aliases: Dict[str, Element], index: int) -> Element:
+    if not isinstance(ref, str):
+        raise ServerError("bad-params",
+                          f"op #{index}: element ref must be a string")
+    if ref.startswith("$"):
+        element = aliases.get(ref[1:])
+        if element is None:
+            raise ServerError(
+                "bad-params",
+                f"op #{index}: alias {ref!r} is not defined by an "
+                f"earlier create op")
+        return element
+    element = model.index().resolve_eid(ref)
+    if element is None:
+        raise ServerError(
+            "bad-params", f"op #{index}: no element {ref!r}")
+    return element
+
+
+def _require_param(params: Dict[str, Any], key: str, kind: type) -> Any:
+    value = params.get(key)
+    if not isinstance(value, kind) or (kind is int
+                                       and isinstance(value, bool)):
+        raise ServerError(
+            "bad-params",
+            f"param {key!r} must be a {kind.__name__}, "
+            f"got {type(value).__name__}")
+    return value
 
 
 class RepoState:
@@ -74,6 +211,10 @@ class RepoState:
         self.watchers: Dict[int, "ServerConnection"] = {}
         self.edits_applied = 0
         self.edits_rejected = 0
+        # write-ahead log (None unless the server runs with a wal_dir);
+        # appended inside the edit transaction, before the epoch bump
+        # is acknowledged.
+        self.wal: Optional[_durability.WriteAheadLog] = None
         # cross-connection check-result cache: (families, severity,
         # workers, columnar) -> the check document computed at the
         # current epoch.  Check results are pure functions of (model
@@ -83,7 +224,7 @@ class RepoState:
         self.check_cache: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
 
     def summary(self) -> Dict[str, Any]:
-        return {
+        document = {
             "repo": self.name,
             "uri": self.model.uri,
             "roots": len(self.model.roots),
@@ -93,13 +234,19 @@ class RepoState:
             "edits_rejected": self.edits_rejected,
             "watchers": len(self.watchers),
         }
+        if self.wal is not None:
+            document["wal"] = self.wal.stats()
+        return document
 
 
 class ModelServer:
     """Verb dispatch and repository registry shared by every transport."""
 
     def __init__(self, *, max_frame: Optional[int] = None,
-                 packages: Optional[List[MetaPackage]] = None):
+                 packages: Optional[List[MetaPackage]] = None,
+                 wal_dir: Optional[str] = None,
+                 wal_compact_every: Optional[int] = None,
+                 deadlines: Optional[Dict[str, float]] = None):
         from .protocol import MAX_FRAME_BYTES
         self.max_frame = max_frame or MAX_FRAME_BYTES
         self.repos: Dict[str, RepoState] = {}
@@ -109,16 +256,55 @@ class ModelServer:
         self._conn_counter = itertools.count(1)
         self._packages = packages
         self.started = time.time()
+        self.deadlines = dict(DEFAULT_DEADLINES)
+        self.deadlines.update(deadlines or {})
+        self.wal_dir = os.fspath(wal_dir) if wal_dir is not None else None
+        self.wal_compact_every = (wal_compact_every
+                                  or _durability.DEFAULT_COMPACT_EVERY)
+        self.recovered: List[str] = []
+        if self.wal_dir is not None:
+            os.makedirs(self.wal_dir, exist_ok=True)
+            self.recovered = self._recover()
+
+    def _recover(self) -> List[str]:
+        """Replay every pending WAL in ``wal_dir`` (server start)."""
+        names = []
+        for repo in _durability.pending_logs(self.wal_dir):
+            with _trace.span("server.wal.recover", repo=repo):
+                state = _durability.recover_repo(
+                    self, repo, self.wal_dir,
+                    compact_every=self.wal_compact_every)
+            names.append(state.name)
+        return names
 
     # -- repositories ------------------------------------------------------
 
-    def attach(self, name: str, session: Session) -> RepoState:
-        """Host an existing session as repository *name*."""
+    def attach(self, name: str, session: Session, *, epoch: int = 0,
+               wal: Optional[_durability.WriteAheadLog] = None
+               ) -> RepoState:
+        """Host an existing session as repository *name*.
+
+        With a ``wal_dir`` configured the repository gets a fresh
+        write-ahead log seeded with a snapshot of its current state
+        (unless recovery already built one and passes it in as *wal*).
+        """
+        if not name or any(sep in name for sep in ("/", "\\", "\0")) \
+                or name.startswith("."):
+            raise ServerError("bad-params",
+                              f"invalid repository name {name!r}")
         with self._lock:
             if name in self.repos:
                 raise ServerError("bad-params",
                                   f"repository {name!r} already loaded")
             state = RepoState(name, session)
+            state.epoch = epoch
+            if wal is not None:
+                state.wal = wal
+            elif self.wal_dir is not None:
+                state.wal = _durability.WriteAheadLog(
+                    self.wal_dir, name,
+                    compact_every=self.wal_compact_every)
+                state.wal.create(session.model, epoch=epoch)
             self.repos[name] = state
             return state
 
@@ -172,12 +358,27 @@ class ModelServer:
             "server.connections",
             help="currently open server connections").dec()
 
+    def flush_wals(self) -> None:
+        """fsync every repository's write-ahead log (drain path)."""
+        with self._lock:
+            states = list(self.repos.values())
+        for state in states:
+            if state.wal is not None:
+                with state.lock:
+                    state.wal.flush()
+
     def shutdown(self) -> None:
-        """Close every connection (detaching their engines)."""
+        """Close every connection (detaching their engines) and every
+        write-ahead log."""
         with self._lock:
             connections = list(self._connections.values())
+            states = list(self.repos.values())
         for conn in connections:
             conn.cleanup()
+        for state in states:
+            if state.wal is not None:
+                with state.lock:
+                    state.wal.close()
 
     # -- aggregate stats ---------------------------------------------------
 
@@ -194,6 +395,9 @@ class ModelServer:
             "connections": connections,
             "repos": repos,
         }
+        if self.wal_dir is not None:
+            document["server"]["wal_dir"] = self.wal_dir
+            document["server"]["recovered"] = list(self.recovered)
         return document
 
 
@@ -209,6 +413,8 @@ class ServerConnection:
         self.engines: Dict[str, Any] = {}        # repo name -> engine
         self.watching: Dict[str, Dict[str, Any]] = {}
         self.closed = False
+        self._deadline: Optional[float] = None   # monotonic, per request
+        self._deadline_verb = ""
 
     # -- outbound ----------------------------------------------------------
 
@@ -227,8 +433,14 @@ class ServerConnection:
 
     # -- inbound -----------------------------------------------------------
 
-    def handle_line(self, line: bytes) -> None:
-        """Decode one wire line and dispatch it (transport entry point)."""
+    def handle_line(self, line: bytes,
+                    arrival: Optional[float] = None) -> None:
+        """Decode one wire line and dispatch it (transport entry point).
+
+        *arrival* is the ``time.monotonic()`` the transport first saw
+        the frame — deadline budgets count queue time, so a request that
+        sat behind a backlog past its budget is shed without running.
+        """
         try:
             frame = decode_frame(line, max_frame=self.server.max_frame)
         except ProtocolError as exc:
@@ -236,9 +448,10 @@ class ServerConnection:
             self.send(error_frame(None, exc.code, str(exc),
                                   exc.data or None))
             return
-        self.handle_frame(frame)
+        self.handle_frame(frame, arrival=arrival)
 
-    def handle_frame(self, frame: Dict[str, Any]) -> None:
+    def handle_frame(self, frame: Dict[str, Any],
+                     arrival: Optional[float] = None) -> None:
         request_id = frame.get("id")
         verb = frame.get("verb")
         if request_id is None or not isinstance(verb, str):
@@ -264,8 +477,13 @@ class ServerConnection:
             self.send(error_frame(request_id, "closed",
                                   "connection is closed"))
             return
+        budget = self.server.deadlines.get(verb, DEFAULT_DEADLINE)
+        base = arrival if arrival is not None else time.monotonic()
+        self._deadline = base + budget
+        self._deadline_verb = verb
         started = time.perf_counter()
         try:
+            self.check_deadline()          # shed before doing any work
             result = handler(params)
         except ServerError as exc:
             self._count(verb, exc.code)
@@ -279,9 +497,31 @@ class ServerConnection:
             self.send(error_frame(request_id, "internal",
                                   f"{type(exc).__name__}: {exc}"))
             return
+        finally:
+            self._deadline = None
         self._count(verb, "ok")
         self._observe(verb, started)
         self.send(response_frame(request_id, result))
+
+    def check_deadline(self) -> None:
+        """Raise ``deadline-exceeded`` if the active request blew its
+        budget.  Called at cooperative safe points (per edit op, before
+        a cache-missing check) — any partial work is rolled back by the
+        enclosing transaction."""
+        deadline = self._deadline
+        if deadline is None or time.monotonic() <= deadline:
+            return
+        verb = self._deadline_verb
+        _metrics.REGISTRY.counter(
+            "server.deadlines",
+            help="requests shed or aborted on a blown verb budget",
+            verb=verb).inc()
+        raise ServerError(
+            "deadline-exceeded",
+            f"{verb!r} request blew its "
+            f"{self.server.deadlines.get(verb, DEFAULT_DEADLINE)}s "
+            f"budget",
+            {"verb": verb, "replayable": True})
 
     def cleanup(self) -> None:
         """Detach engines and watches; idempotent (EOF and close verb)."""
@@ -379,6 +619,7 @@ class ServerConnection:
             if cached is not None:
                 document = dict(cached)
             else:
+                self.check_deadline()   # a full check is the costly path
                 if columnar:
                     state.model.enable_columns()
                 try:
@@ -449,6 +690,8 @@ class ServerConnection:
             state.edits_applied += 1
             state.check_cache.clear()     # documents were per-epoch
             epoch = state.epoch
+            if state.wal is not None:
+                state.wal.maybe_compact(state.model, epoch)
             self._notify_watchers(state, touched)
         return {"repo": state.name, "epoch": epoch, "applied": applied,
                 "touched": touched}
@@ -456,18 +699,28 @@ class ServerConnection:
     def _apply_ops(self, state: RepoState,
                    ops: List[Any]) -> Tuple[int, List[str]]:
         """Apply *ops* inside one kernel transaction; roll back on any
-        failure and convert it into a replay-safe ``txn-failed`` error."""
-        aliases: Dict[str, Element] = {}
+        failure and convert it into a replay-safe ``txn-failed`` error.
+
+        Durability ordering: the WAL append runs *inside* the
+        transaction, after every op succeeded but before commit — an
+        append failure rolls memory back and the log is already
+        truncated to its pre-append length, so disk and memory always
+        agree, and a record only becomes durable if the edit is about
+        to be acknowledged.
+        """
+        created: Dict[int, Element] = {}
         try:
             with transaction(state.model) as txn:
-                for index, op in enumerate(ops):
-                    if not isinstance(op, dict):
-                        raise ServerError(
-                            "bad-params", f"op #{index} must be an object")
-                    self._apply_op(state, op, aliases, index)
+                apply_edit_ops(self.server.resolve_metaclass, state.model,
+                               ops, created=created,
+                               deadline_check=self.check_deadline)
                 touched = [element.eid
                            for element in txn.touched_elements()]
                 applied = len(ops)
+                if state.wal is not None:
+                    state.wal.append_txn(
+                        state.epoch + 1,
+                        _durability.annotate_created(ops, created))
         except ServerError:
             raise
         except Exception as exc:
@@ -477,77 +730,6 @@ class ServerConnection:
                 {"repo": state.name, "rolled_back": True,
                  "replayable": True, "ops": ops})
         return applied, touched
-
-    def _apply_op(self, state: RepoState, op: Dict[str, Any],
-                  aliases: Dict[str, Element], index: int) -> None:
-        kind = op.get("op")
-        resolve = lambda ref: self._resolve_ref(state, ref, aliases, index)
-        if kind == "create":
-            metaclass = self.server.resolve_metaclass(
-                self._require(op, "metaclass", str))
-            element = metaclass.instantiate(**(op.get("attrs") or {}))
-            if "parent" in op:
-                parent = resolve(op["parent"])
-                feature = self._require(op, "feature", str)
-                slot = parent.eget(feature)
-                if hasattr(slot, "append"):
-                    slot.append(element)
-                else:
-                    parent.eset(feature, element)
-            else:
-                state.model.add_root(element)
-            if "as" in op:
-                aliases[str(op["as"])] = element
-            return
-        if kind == "delete":
-            element = resolve(self._require(op, "element", str))
-            if element in state.model.roots:
-                state.model.remove_root(element)
-            element.delete()
-            return
-        element = resolve(self._require(op, "element", str))
-        feature = self._require(op, "feature", str)
-        value = self._op_value(state, op, aliases, index)
-        if kind == "set":
-            element.eset(feature, value)
-        elif kind == "unset":
-            element.eunset(feature)
-        elif kind == "add":
-            element.eget(feature).append(value)
-        elif kind == "remove":
-            element.eget(feature).remove(value)
-        else:
-            raise ServerError(
-                "bad-params",
-                f"op #{index}: unknown op kind {kind!r} (expected "
-                f"create/delete/set/unset/add/remove)")
-
-    def _op_value(self, state: RepoState, op: Dict[str, Any],
-                  aliases: Dict[str, Element], index: int) -> Any:
-        if "ref" in op:
-            return self._resolve_ref(state, op["ref"], aliases, index)
-        return op.get("value")
-
-    def _resolve_ref(self, state: RepoState, ref: Any,
-                     aliases: Dict[str, Element], index: int) -> Element:
-        if not isinstance(ref, str):
-            raise ServerError("bad-params",
-                              f"op #{index}: element ref must be a string")
-        if ref.startswith("$"):
-            element = aliases.get(ref[1:])
-            if element is None:
-                raise ServerError(
-                    "bad-params",
-                    f"op #{index}: alias {ref!r} is not defined by an "
-                    f"earlier create op")
-            return element
-        element = state.model.index().resolve_eid(ref)
-        if element is None:
-            raise ServerError(
-                "bad-params",
-                f"op #{index}: no element {ref!r} in repository "
-                f"{state.name!r}")
-        return element
 
     def _notify_watchers(self, state: RepoState,
                          touched: List[str]) -> None:

@@ -19,10 +19,14 @@ shapes flow over one connection:
       {"event": "diagnostics", "repo": "main", "data": {...}}
 
 Requests on one connection are handled strictly in order (the protocol
-has no pipelining guarantee beyond FIFO), which doubles as the
-backpressure mechanism: a client cannot have more than one verb
-in flight, and a frame longer than the server's ``max_frame`` limit is
-rejected with an ``oversized`` error without being parsed.
+has no pipelining guarantee beyond FIFO).  Backpressure is explicit:
+each TCP connection owns a bounded inflight queue, and a client that
+pipelines past it gets an immediate ``overloaded`` error for the
+excess frames; every verb also runs against a per-verb wall-clock
+budget and is shed (or aborted and rolled back) with
+``deadline-exceeded`` when it blows it.  A frame longer than the
+server's ``max_frame`` limit is rejected with an ``oversized`` error
+without being parsed.
 
 Error codes are stable strings (:data:`ERROR_CODES`); ``conflict``
 responses additionally carry ``data.current_epoch`` and echo the
@@ -51,9 +55,20 @@ ERROR_CODES: Dict[str, str] = {
                 "data.current_epoch",
     "txn-failed": "edit-txn raised mid-batch; the journal rolled the "
                   "repository back",
+    "deadline-exceeded": "request blew its verb's wall-clock budget; "
+                         "partial work was rolled back",
+    "overloaded": "the connection's inflight queue is full; back off "
+                  "and retry",
+    "draining": "server is draining for shutdown; no new requests",
     "closed": "connection is closed",
     "internal": "unexpected server-side failure",
 }
+
+#: Error codes a client may safely retry (with backoff).  ``conflict``
+#: is also replayable but needs its ``base_epoch`` refreshed from
+#: ``data.current_epoch`` first — :class:`repro.server.RetryPolicy`
+#: does both.
+TRANSIENT_CODES = ("overloaded", "deadline-exceeded", "draining")
 
 
 class ProtocolError(Exception):

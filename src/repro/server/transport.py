@@ -5,28 +5,65 @@ deliver inbound lines to :meth:`ServerConnection.handle_line`, and a
 ``send(frame)`` callable for outbound frames.  Two implementations:
 
 * :class:`TcpServer` / :class:`TcpClient` — the real thing: a listener
-  thread accepting connections, one reader thread per connection,
-  newline-delimited JSON frames over a stream socket;
+  thread accepting connections, one reader + one worker thread per
+  connection, newline-delimited JSON frames over a stream socket;
 * :func:`ModelServer.connect` driven directly by
   :class:`InProcessClient` — the same frame round-trip (encode → decode
   both ways, so only JSON-serializable payloads pass) without a socket,
   used by tests and benchmarks to measure dispatch cost without kernel
   networking noise.
 
+Liveness is bounded on every axis:
+
+* **Backpressure** — each connection owns a bounded inflight queue
+  (the reader enqueues, the worker dispatches FIFO); a client that
+  pipelines past ``max_inflight`` gets an immediate ``overloaded``
+  error for the excess frame instead of growing server memory.
+* **Slowloris eviction** — a connection that holds a *partial* frame
+  open past ``partial_frame_timeout`` seconds is dropped.  Idle
+  connections (no buffered bytes — e.g. a quiet ``watch`` client) are
+  never evicted.
+* **Slow readers** — outbound writes run against ``send_timeout``; a
+  peer that stops reading until the kernel buffer fills gets its
+  connection dropped instead of wedging a server thread.
+* **Graceful drain** — :meth:`TcpServer.drain` stops accepting,
+  answers queued-but-unstarted requests with ``draining``, lets the
+  inflight request on each connection finish against its deadline,
+  flushes every repository's write-ahead log, then closes.
+
 Oversized-line handling on the TCP read side never buffers more than
 ``max_frame`` bytes: the reader rejects the frame as soon as the limit
 is crossed, then discards until the next newline and keeps serving.
+
+:class:`RetryPolicy` is the client half of the story: exponential
+backoff with full jitter over a bounded attempt/sleep budget, replaying
+``conflict`` responses (with ``base_epoch`` refreshed from the error's
+``current_epoch``), transient protocol errors (``overloaded``,
+``deadline-exceeded``, ``draining``), and :class:`TransportError`\\ s —
+reconnecting the socket for the latter.
+
+Fault sites: ``net.read`` and ``net.write`` fire on the server side of
+every socket receive/send; an injected fault kills that connection (the
+server itself keeps serving).
 """
 
 from __future__ import annotations
 
 import json
+import queue
+import random
+import select
 import socket
 import threading
-from typing import Any, Dict, List, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from .. import faults as _faults
+from ..obs import metrics as _metrics
+from ..obs import trace as _trace
 from .dispatch import ModelServer
 from .protocol import (
+    TRANSIENT_CODES,
     decode_frame,
     encode_frame,
     error_frame,
@@ -42,6 +79,102 @@ class RemoteError(Exception):
         super().__init__(f"{code}: {message}")
         self.code = code
         self.data = data
+
+
+class TransportError(Exception):
+    """The transport itself failed (socket error, EOF, timeout).
+
+    ``transient`` distinguishes failures worth a reconnect-and-retry
+    (peer reset, timeout, connection refused during a restart) from
+    ones that are not; :class:`RetryPolicy` only replays the former.
+    """
+
+    def __init__(self, message: str, *, transient: bool = True):
+        super().__init__(message)
+        self.transient = transient
+
+
+# ---------------------------------------------------------------------------
+# Client retry policy
+# ---------------------------------------------------------------------------
+
+class RetryPolicy:
+    """Exponential backoff with full jitter, capped by attempts and a
+    total sleep budget.
+
+    The delay before retry *n* (0-based) is drawn uniformly from
+    ``[0, min(max_delay, base_delay * 2**n)]`` — full jitter, so a herd
+    of conflicting editors decorrelates instead of replaying in
+    lockstep.  ``run`` replays three failure classes:
+
+    * transient :class:`TransportError` — invokes *on_reconnect* (if
+      given) before retrying;
+    * :class:`RemoteError` with a code in
+      :data:`~repro.server.protocol.TRANSIENT_CODES`;
+    * replayable ``conflict`` errors — invokes *on_conflict(error)* so
+      the caller can refresh its ``base_epoch`` from
+      ``error.data["current_epoch"]`` before the replay.
+
+    Everything else propagates immediately.  *rng* and *sleep* are
+    injectable for deterministic tests.
+    """
+
+    def __init__(self, attempts: int = 6, base_delay: float = 0.05,
+                 max_delay: float = 2.0, budget: float = 30.0,
+                 rng: Optional[random.Random] = None,
+                 sleep: Optional[Callable[[float], None]] = None):
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.budget = budget
+        self._rng = rng or random.Random()
+        self._sleep = sleep or time.sleep
+        self.retried = 0          # lifetime retries through this policy
+
+    def backoff(self, attempt: int) -> float:
+        """The jittered delay before retry *attempt* (0-based)."""
+        cap = min(self.max_delay, self.base_delay * (2 ** attempt))
+        return self._rng.uniform(0.0, cap)
+
+    def _classify(self, exc: Exception,
+                  can_replay_conflict: bool) -> Optional[str]:
+        if isinstance(exc, TransportError):
+            return "network" if exc.transient else None
+        if isinstance(exc, RemoteError):
+            if exc.code == "conflict" and can_replay_conflict \
+                    and exc.data.get("replayable"):
+                return "conflict"
+            if exc.code in TRANSIENT_CODES:
+                return exc.code
+        return None
+
+    def run(self, attempt_fn: Callable[[], Any], *,
+            on_conflict: Optional[Callable[[RemoteError], None]] = None,
+            on_reconnect: Optional[Callable[[], None]] = None) -> Any:
+        attempt = 0
+        slept = 0.0
+        while True:
+            try:
+                return attempt_fn()
+            except (TransportError, RemoteError) as exc:
+                reason = self._classify(exc, on_conflict is not None)
+                if reason is None or attempt + 1 >= self.attempts:
+                    raise
+                delay = self.backoff(attempt)
+                if slept + delay > self.budget:
+                    raise
+                attempt += 1
+                slept += delay
+                self.retried += 1
+                _metrics.REGISTRY.counter(
+                    "client.retries",
+                    help="requests replayed by a RetryPolicy, by reason",
+                    reason=reason).inc()
+                self._sleep(delay)
+                if reason == "conflict":
+                    on_conflict(exc)          # refresh base_epoch
+                elif reason == "network" and on_reconnect is not None:
+                    on_reconnect()
 
 
 # ---------------------------------------------------------------------------
@@ -125,25 +258,57 @@ class InProcessClient:
 # TCP transport
 # ---------------------------------------------------------------------------
 
+#: sentinel telling a connection worker to exit
+_STOP = object()
+
+
+class _ClientConn:
+    """Book-keeping for one live TCP connection (server side)."""
+
+    def __init__(self, sock: socket.socket, inbox: "queue.Queue"):
+        self.sock = sock
+        self.inbox = inbox
+        self.busy = False         # worker is inside a handler right now
+
+
+def _peek_request_id(line: bytes) -> Any:
+    """Best-effort request id from an undispatched frame, for shedding."""
+    try:
+        frame = json.loads(line.decode("utf-8"))
+    except Exception:
+        return None
+    return frame.get("id") if isinstance(frame, dict) else None
+
+
 class TcpServer:
     """Threaded TCP front end over one :class:`ModelServer`.
 
     ``port=0`` binds an ephemeral port (tests); :attr:`address` reports
-    the bound endpoint.  One daemon thread accepts, one daemon thread
-    per connection reads; writes go through the dispatch layer's
-    per-connection send lock so watch events and responses interleave
-    safely.
+    the bound endpoint.  One daemon thread accepts; each connection gets
+    a reader thread (framing, backpressure, eviction) and a worker
+    thread (dispatch), decoupled by a bounded inflight queue.  Writes
+    go through the dispatch layer's per-connection send lock so watch
+    events and responses interleave safely.
     """
 
     def __init__(self, server: ModelServer, host: str = "127.0.0.1",
-                 port: int = 0):
+                 port: int = 0, *, max_inflight: int = 64,
+                 partial_frame_timeout: float = 30.0,
+                 send_timeout: float = 30.0):
         self.server = server
+        self.max_inflight = max_inflight
+        self.partial_frame_timeout = partial_frame_timeout
+        self.send_timeout = send_timeout
         self._listener = socket.create_server((host, port))
         self._listener.settimeout(0.2)
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
         self._threads: List[threading.Thread] = []
         self._running = False
+        self._draining = False
         self._accept_thread: Optional[threading.Thread] = None
+        self._clients: Dict[int, _ClientConn] = {}
+        self._clients_lock = threading.Lock()
+        self._client_counter = 0
 
     def start(self) -> "TcpServer":
         self._running = True
@@ -173,16 +338,41 @@ class TcpServer:
             self._threads.append(thread)
 
     def _serve_connection(self, sock: socket.socket) -> None:
-        sock_lock = threading.Lock()
+        sock.settimeout(self.send_timeout)   # bounds sendall on a slow
+        sock_lock = threading.Lock()         # reader; recv is select-paced
 
         def send(frame: Dict[str, Any]) -> None:
+            if _faults.ACTIVE is not None:
+                try:
+                    _faults.probe("net.write")
+                except _faults.InjectedFault as exc:
+                    raise OSError(f"injected fault: {exc}") from exc
             with sock_lock:
                 sock.sendall(encode_frame(frame))
 
         conn = self.server.connect(send)
+        inbox: "queue.Queue" = queue.Queue(maxsize=self.max_inflight)
+        client = _ClientConn(sock, inbox)
+        with self._clients_lock:
+            self._client_counter += 1
+            key = self._client_counter
+            self._clients[key] = client
+        worker = threading.Thread(
+            target=self._dispatch_loop, args=(conn, client),
+            name="repro-server-work", daemon=True)
+        worker.start()
+        self._threads.append(worker)
+
+        def shed(line: bytes, code: str, message: str) -> None:
+            try:
+                send(error_frame(_peek_request_id(line), code, message))
+            except OSError:
+                pass
+
         try:
-            for line, oversized in _read_lines(sock,
-                                               self.server.max_frame):
+            for line, oversized in _read_lines(
+                    sock, self.server.max_frame,
+                    partial_timeout=self.partial_frame_timeout):
                 if oversized:
                     try:
                         send(error_frame(
@@ -192,21 +382,72 @@ class TcpServer:
                     except OSError:
                         break
                     continue
+                if self._draining:
+                    shed(line, "draining",
+                         "server is draining for shutdown")
+                    continue
                 try:
-                    conn.handle_line(line)
-                except OSError:
-                    break                 # peer went away mid-response
+                    inbox.put_nowait((line, time.monotonic()))
+                except queue.Full:
+                    _metrics.REGISTRY.counter(
+                        "server.overloaded",
+                        help="frames shed on a full inflight queue").inc()
+                    shed(line, "overloaded",
+                         f"connection already has {self.max_inflight} "
+                         f"requests inflight")
                 if conn.closed:
                     break
         finally:
+            inbox.put(_STOP)
             conn.cleanup()
+            with self._clients_lock:
+                self._clients.pop(key, None)
             try:
                 sock.close()
             except OSError:
                 pass
 
-    def shutdown(self) -> None:
-        """Stop accepting, close the listener, drop every connection."""
+    def _dispatch_loop(self, conn: Any, client: _ClientConn) -> None:
+        """Worker half of one connection: FIFO dispatch off the inbox."""
+        try:
+            while True:
+                item = client.inbox.get()
+                if item is _STOP:
+                    break
+                line, arrival = item
+                if self._draining:
+                    try:
+                        conn.send(error_frame(
+                            _peek_request_id(line), "draining",
+                            "server is draining for shutdown"))
+                    except OSError:
+                        break
+                    continue
+                client.busy = True
+                try:
+                    conn.handle_line(line, arrival=arrival)
+                except OSError:
+                    break             # peer went away mid-response
+                finally:
+                    client.busy = False
+                if conn.closed:
+                    break
+        finally:
+            # whatever ended this worker, the connection is done — close
+            # the socket so the reader unblocks instead of queueing
+            # frames nobody will ever answer
+            try:
+                client.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                client.sock.close()
+            except OSError:
+                pass
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _close_listener(self) -> None:
         self._running = False
         try:
             self._listener.close()
@@ -215,24 +456,103 @@ class TcpServer:
         if self._accept_thread is not None \
                 and self._accept_thread is not threading.current_thread():
             self._accept_thread.join(timeout=2.0)
+
+    def drain(self, timeout: float = 5.0) -> Dict[str, Any]:
+        """Gracefully wind the server down.
+
+        Stops accepting, rejects queued-but-unstarted and newly arriving
+        requests with ``draining``, waits up to *timeout* seconds for
+        the request currently executing on each connection to finish
+        (its own deadline still applies), flushes every write-ahead
+        log, then closes everything.  Returns drain statistics.
+        """
+        with _trace.span("server.drain"):
+            self._draining = True
+            self._close_listener()
+            deadline = time.monotonic() + timeout
+            cancelled = 0
+            while time.monotonic() < deadline:
+                with self._clients_lock:
+                    clients = list(self._clients.values())
+                if not any(c.busy for c in clients):
+                    break
+                time.sleep(0.02)
+            with self._clients_lock:
+                clients = list(self._clients.values())
+            still_busy = sum(1 for c in clients if c.busy)
+            for c in clients:
+                while True:               # count what never got to run
+                    try:
+                        item = c.inbox.get_nowait()
+                    except queue.Empty:
+                        break
+                    if item is not _STOP:
+                        cancelled += 1
+            self.server.flush_wals()
+            self.shutdown()
+            _metrics.REGISTRY.counter(
+                "server.drain.cancelled",
+                help="requests abandoned during drain "
+                     "(queued or still executing at timeout)"
+            ).inc(cancelled + still_busy)
+            return {"drained": True, "cancelled": cancelled,
+                    "interrupted": still_busy}
+
+    def shutdown(self) -> None:
+        """Stop accepting, close the listener and every live client
+        socket (a hung client cannot stall the join), drop every
+        connection."""
+        self._close_listener()
+        with self._clients_lock:
+            clients = list(self._clients.values())
+        for client in clients:
+            try:
+                client.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                client.sock.close()
+            except OSError:
+                pass
         self.server.shutdown()
         for thread in self._threads:
-            thread.join(timeout=2.0)
+            if thread is not threading.current_thread():
+                thread.join(timeout=2.0)
 
 
-def _read_lines(sock: socket.socket, max_frame: int):
+def _read_lines(sock: socket.socket, max_frame: int, *,
+                partial_timeout: float = 30.0):
     """Yield ``(line, oversized)`` pairs from a stream socket.
 
     Never buffers more than ``max_frame`` bytes for a single line; an
     over-limit line yields ``(b"", True)`` once and is discarded up to
-    its terminating newline.
+    its terminating newline.  A peer that keeps a *partial* frame open
+    longer than *partial_timeout* seconds is evicted (slowloris); a
+    peer that is simply idle between frames is not.
     """
     buffer = bytearray()
     discarding = False
+    partial_since: Optional[float] = None
     while True:
         try:
+            ready, _, _ = select.select([sock], [], [], 0.2)
+        except (OSError, ValueError):
+            return
+        if partial_since is not None \
+                and time.monotonic() - partial_since > partial_timeout:
+            # a trickling peer stays "ready", so check on every pass
+            _metrics.REGISTRY.counter(
+                "server.evictions",
+                help="connections dropped by the transport",
+                reason="slowloris").inc()
+            return
+        if not ready:
+            continue
+        try:
+            if _faults.ACTIVE is not None:
+                _faults.probe("net.read")
             chunk = sock.recv(65536)
-        except OSError:
+        except (OSError, _faults.InjectedFault):
             return
         if not chunk:
             return
@@ -246,6 +566,11 @@ def _read_lines(sock: socket.socket, max_frame: int):
                     discarding = True
                     del buffer[:]
                     yield b"", True
+                if buffer or discarding:
+                    if partial_since is None:
+                        partial_since = time.monotonic()
+                else:
+                    partial_since = None
                 break
             if discarding:
                 del buffer[:newline + 1]
@@ -253,6 +578,7 @@ def _read_lines(sock: socket.socket, max_frame: int):
                 continue
             line = bytes(buffer[:newline])
             del buffer[:newline + 1]
+            partial_since = None
             if len(line) > max_frame:
                 yield b"", True
             else:
@@ -260,30 +586,85 @@ def _read_lines(sock: socket.socket, max_frame: int):
 
 
 class TcpClient:
-    """Blocking line-protocol client for one server connection."""
+    """Blocking line-protocol client for one server connection.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
-        self._sock = socket.create_connection((host, port),
-                                              timeout=timeout)
-        self._file = self._sock.makefile("rb")
+    With a :class:`RetryPolicy` attached, :meth:`request` transparently
+    replays replayable ``conflict`` responses (refreshing
+    ``base_epoch`` from the error), transient protocol errors, and
+    transient :class:`TransportError`\\ s — reconnecting for the
+    latter.  Without one, every failure propagates (socket failures as
+    typed :class:`TransportError`, never bare ``OSError``).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 retry: Optional[RetryPolicy] = None):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.retry = retry
         self._ids = iter(range(1, 1 << 62))
         self.events: List[Dict[str, Any]] = []
+        self._connect()
+
+    def _connect(self) -> None:
+        try:
+            self._sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout)
+        except OSError as exc:
+            raise TransportError(
+                f"cannot connect to {self._host}:{self._port}: {exc}",
+                transient=True) from exc
+        self._file = self._sock.makefile("rb")
+
+    def _reconnect(self) -> None:
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            pass
+        self._connect()
 
     def request(self, verb: str, **params: Any) -> Dict[str, Any]:
+        if self.retry is None:
+            return self._request_once(verb, params)
+
+        def on_conflict(exc: RemoteError) -> None:
+            current = exc.data.get("current_epoch")
+            if current is not None:
+                params["base_epoch"] = current
+
+        return self.retry.run(
+            lambda: self._request_once(verb, params),
+            on_conflict=on_conflict if "base_epoch" in params else None,
+            on_reconnect=self._reconnect)
+
+    def _request_once(self, verb: str,
+                      params: Dict[str, Any]) -> Dict[str, Any]:
         request_id = next(self._ids)
-        self._sock.sendall(
-            encode_frame(request_frame(request_id, verb, params)))
+        try:
+            self._sock.sendall(
+                encode_frame(request_frame(request_id, verb, params)))
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
         return self._read_response(request_id)
 
     def send_raw(self, data: bytes) -> Dict[str, Any]:
         """Send raw bytes and read one frame back (robustness tests)."""
-        self._sock.sendall(data)
+        try:
+            self._sock.sendall(data)
+        except OSError as exc:
+            raise TransportError(f"send failed: {exc}") from exc
         return self._read_frame()
 
     def _read_frame(self) -> Dict[str, Any]:
-        line = self._file.readline()
+        try:
+            line = self._file.readline()
+        except (socket.timeout, TimeoutError) as exc:
+            raise TransportError(f"read timed out: {exc}") from exc
+        except OSError as exc:
+            raise TransportError(f"read failed: {exc}") from exc
         if not line:
-            raise ConnectionError("server closed the connection")
+            raise TransportError("server closed the connection")
         return decode_frame(line.rstrip(b"\n"),
                             max_frame=1 << 30)   # trust the server side
 
@@ -306,20 +687,22 @@ class TcpClient:
                      timeout: float = 2.0) -> List[Dict[str, Any]]:
         """Collect pushed events until at least *minimum* arrived (or
         the socket stays quiet past *timeout*)."""
+        previous = self._sock.gettimeout()
         self._sock.settimeout(0.05)
-        import time
         deadline = time.monotonic() + timeout
         try:
             while len(self.events) < minimum \
                     and time.monotonic() < deadline:
                 try:
                     frame = self._read_frame()
-                except (socket.timeout, TimeoutError):
+                except TransportError:
+                    # quiet socket (timeout) — or a dead one, which
+                    # keeps raising until the deadline expires
                     continue
                 if is_event(frame):
                     self.events.append(frame)
         finally:
-            self._sock.settimeout(None)
+            self._sock.settimeout(previous)
         out, self.events = self.events, []
         return out
 
@@ -342,6 +725,6 @@ class TcpClient:
 
 
 def serve_tcp(server: ModelServer, host: str = "127.0.0.1",
-              port: int = 0) -> TcpServer:
+              port: int = 0, **options: Any) -> TcpServer:
     """Bind and start a threaded TCP front end; returns it running."""
-    return TcpServer(server, host, port).start()
+    return TcpServer(server, host, port, **options).start()

@@ -157,6 +157,19 @@ def render_check_document(document: Dict[str, Any],
     return "\n".join(lines)
 
 
+def canonical_check_document(document: Dict[str, Any]) -> str:
+    """One canonical byte representation of a check document.
+
+    Sorted keys, no whitespace — two documents are semantically equal
+    exactly when their canonical strings compare equal, which is how
+    the server's crash-recovery verification (``repro.server``
+    durability tests and the crash-recovery smoke) proves a restarted
+    repository byte-identical to a shadow session that applied the same
+    acknowledged edit prefix.
+    """
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
 def _diagnostic_json(diagnostic: Diagnostic) -> Dict[str, Any]:
     record = {
         "severity": diagnostic.severity.value,

@@ -12,7 +12,13 @@ one layer's probe site and asserts the layer's robustness contract:
 * ``parallel.worker`` — a sharded check whose worker dies unreported
   degrades to an in-process re-check, byte-identical output;
 * ``io.*``          — an interrupted save never corrupts the previous
-  generation on disk.
+  generation on disk;
+* ``wal.append``    — a failed write-ahead append rolls the edit back
+  in memory *and* on disk, and the replay commits durably;
+* ``wal.replay``    — interrupted crash recovery is retryable and
+  idempotent;
+* ``net.*``         — socket faults kill single connections, never the
+  server, and a RetryPolicy client converges anyway.
 
 Every fault injected anywhere in the module is tallied; the final test
 enforces the chaos budget (>= 500 injected faults per run), topping up
@@ -327,6 +333,161 @@ def test_parallel_worker_chaos_degrades_not_drops(seed):
 
 
 # ---------------------------------------------------------------------------
+# Server durability: WAL appends/replay and the TCP transport
+# ---------------------------------------------------------------------------
+
+def _server_corpus(server, seed, size=50):
+    from repro.session import Session
+    session = Session.generate("demo", size=size, seed=seed, repair=True)
+    server.attach("main", session)
+    state = server.repo("main")
+    eids = []
+    for root in state.model.roots:
+        for element in [root] + list(root.all_contents()):
+            feature = element.meta.all_features().get("name")
+            if feature is not None and not feature.many:
+                eids.append(element.eid)
+    return state, eids
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_wal_append_chaos(seed, tmp_path):
+    """A faulted WAL append rolls the edit back on disk *and* in memory;
+    the replay then commits, and recovery yields exactly the
+    acknowledged transactions — byte-identical check documents."""
+    from repro.server import InProcessClient, ModelServer, RemoteError
+    from repro.session import canonical_check_document
+
+    server = ModelServer(wal_dir=str(tmp_path))
+    state, eids = _server_corpus(server, seed)
+    plan = faults.FaultPlan(seed=_plan_seed(seed * 23), rate=0.3,
+                            sites=["wal.append"],
+                            at={"wal.append": [2, 5]})
+    epoch = 0
+    with InProcessClient(server) as client:
+        with faults.injected(plan):
+            for i in range(12):
+                ops = [{"op": "set", "element": eids[i % len(eids)],
+                        "feature": "name", "value": f"chaos{seed}-{i}"}]
+                while True:
+                    try:
+                        result = client.request(
+                            "edit-txn", repo="main",
+                            base_epoch=epoch, ops=ops)
+                        epoch = result["epoch"]
+                        break
+                    except RemoteError as error:
+                        assert error.code == "txn-failed"
+                        assert error.data["replayable"] is True
+                        assert state.epoch == epoch   # rolled back
+    count = _tally(plan)
+    assert count >= 2
+    assert epoch == 12                    # every edit eventually landed
+    live = canonical_check_document(state.session.check().to_json())
+    recovered = ModelServer(wal_dir=str(tmp_path))
+    again = recovered.repo("main")
+    assert again.epoch == 12
+    assert canonical_check_document(
+        again.session.check().to_json()) == live
+
+
+def test_wal_replay_chaos(tmp_path):
+    """Recovery interrupted by injected faults is retryable and
+    idempotent: once a retry gets through, the result is identical to a
+    never-faulted recovery."""
+    from repro.server import InProcessClient, ModelServer
+    from repro.session import canonical_check_document
+
+    server = ModelServer(wal_dir=str(tmp_path))
+    state, eids = _server_corpus(server, seed=2)
+    with InProcessClient(server) as client:
+        for i in range(5):
+            client.request("edit-txn", repo="main", base_epoch=i,
+                           ops=[{"op": "set", "element": eids[i],
+                                 "feature": "name", "value": f"r{i}"}])
+    want = canonical_check_document(state.session.check().to_json())
+    # firings accumulate across attempts: attempt 1 dies at its 2nd
+    # replayed txn, attempt 2 (firings 6-10) at its 2nd as well
+    plan = faults.FaultPlan(seed=0, at={"wal.replay": [2, 7]})
+    attempts = 0
+    with faults.injected(plan):
+        while True:
+            attempts += 1
+            try:
+                recovered = ModelServer(wal_dir=str(tmp_path))
+                break
+            except faults.InjectedFault:
+                assert attempts < 10
+    assert _tally(plan) == 2
+    assert attempts == 3
+    got = recovered.repo("main")
+    assert got.epoch == 5
+    assert canonical_check_document(
+        got.session.check().to_json()) == want
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_net_chaos_retrying_client_converges(seed):
+    """``net.read``/``net.write`` faults kill individual connections,
+    never the server; a RetryPolicy client reconnects and every edit it
+    saw acknowledged is present afterwards."""
+    import random as random_module
+
+    from repro.server import (ModelServer, RemoteError, RetryPolicy,
+                              TcpClient, TcpServer, TransportError)
+
+    server = ModelServer()
+    state, eids = _server_corpus(server, seed, size=40)
+    tcp = TcpServer(server).start()
+    host, port = tcp.address
+    plan = faults.FaultPlan(seed=_plan_seed(seed * 31), rate=0.10,
+                            sites=["net.read", "net.write"],
+                            at={"net.read": [3]})
+    acked = {}
+    gave_up = 0
+    try:
+        with faults.injected(plan):
+            client = TcpClient(
+                host, port, timeout=5.0,
+                retry=RetryPolicy(attempts=10, base_delay=0.01,
+                                  max_delay=0.05,
+                                  rng=random_module.Random(seed)))
+            epoch = state.epoch
+            for i in range(15):
+                eid = eids[i]
+                value = f"net{seed}-{i}"
+                try:
+                    result = client.request(
+                        "edit-txn", repo="main", base_epoch=epoch,
+                        ops=[{"op": "set", "element": eid,
+                              "feature": "name", "value": value}])
+                    epoch = result["epoch"]
+                    acked[eid] = value
+                except (TransportError, RemoteError):
+                    gave_up += 1          # never acknowledged: no claim
+                    epoch = state.epoch   # resync for the next edit
+            try:
+                client.close()
+            except Exception:
+                pass
+        count = _tally(plan)
+        assert count >= 1
+        # the server survived the chaos: a clean client still works,
+        # and every acknowledged edit is in the model
+        with TcpClient(host, port) as probe:
+            document = probe.request("check", repo="main")
+            assert document["repo"] == "main"
+        for eid, value in acked.items():
+            element = state.model.index().resolve_eid(eid)
+            assert element.eget("name") == value, (
+                f"acknowledged edit lost (seed {seed}, eid {eid})")
+        assert len(acked) + gave_up == 15
+        assert state.epoch == state.edits_applied
+    finally:
+        tcp.shutdown()
+
+
+# ---------------------------------------------------------------------------
 # The chaos budget
 # ---------------------------------------------------------------------------
 
@@ -348,5 +509,6 @@ def test_chaos_budget_met():
     assert total >= CHAOS_BUDGET, dict(TALLY)
     # the tally spans every protected layer, not just one
     assert {"kernel.write", "transform.rule", "checker.run",
-            "parallel.worker"} <= set(TALLY)
+            "parallel.worker", "wal.append", "wal.replay"} <= set(TALLY)
     assert any(site.startswith("io.") for site in TALLY)
+    assert any(site.startswith("net.") for site in TALLY)

@@ -610,3 +610,66 @@ class TestTcpTransport:
             tcp.shutdown()
         # clean shutdown: no connections left behind
         assert server._connections == {}
+
+
+class TestDisconnectsAndInterleaving:
+    """Satellite coverage: mid-frame disconnects near the frame cap and
+    watch events interleaving with conflict replays."""
+
+    def test_mid_frame_disconnect_near_cap(self):
+        import socket as socket_module
+
+        server = ModelServer()
+        host_corpus(server, size=40, seed=11)
+        tcp = serve_tcp(server, port=0)
+        host, port = tcp.address
+        try:
+            # ~7 MiB of a single frame, no terminating newline, then gone
+            doomed = socket_module.create_connection((host, port))
+            doomed.sendall(b'{"id": 1, "verb": "edit-txn", "params": {"x": "'
+                           + b"a" * (7 * 1024 * 1024))
+            doomed.close()
+            # and the same past the cap (discard mode), also cut short
+            doomed = socket_module.create_connection((host, port))
+            doomed.sendall(b'{"id": 2, "verb": "check", "params": {"x": "'
+                           + b"b" * (9 * 1024 * 1024))
+            doomed.close()
+            # the server survives both and still answers cleanly
+            with TcpClient(host, port) as client:
+                document = client.request("check", repo="main")
+                assert document["repo"] == "main"
+            assert server.repo("main").epoch == 0
+        finally:
+            tcp.shutdown()
+
+    def test_watch_events_interleave_with_conflict_replays(self):
+        server = ModelServer()
+        state = host_corpus(server, size=60, seed=13)
+        eids = named_eids(state, 2)
+        tcp = serve_tcp(server, port=0)
+        host, port = tcp.address
+        try:
+            watcher = TcpClient(host, port)
+            watcher.request("watch", repo="main")
+            editor = TcpClient(host, port)
+            editor.request("edit-txn", repo="main", base_epoch=0,
+                           ops=[rename_op(eids[0], "First")])
+            # a stale replay: rejected once (no event), replayed fine
+            with pytest.raises(RemoteError) as info:
+                editor.request("edit-txn", repo="main", base_epoch=0,
+                               ops=[rename_op(eids[1], "Second")])
+            assert info.value.code == "conflict"
+            replay_epoch = info.value.data["current_epoch"]
+            editor.request("edit-txn", repo="main",
+                           base_epoch=replay_epoch,
+                           ops=info.value.data["ops"])
+            events = watcher.drain_events(minimum=2, timeout=5.0)
+            diagnostics = [e for e in events
+                           if e["event"] == "diagnostics"]
+            # exactly the two committed epochs, in order — nothing for
+            # the rejected attempt
+            assert [e["epoch"] for e in diagnostics] == [1, 2]
+            editor.close()
+            watcher.close()
+        finally:
+            tcp.shutdown()
